@@ -1,0 +1,57 @@
+//! **Design-decision ablation**: costs from *constructed gates* (the
+//! default, DESIGN.md decision 1) versus the closed-form analytic model
+//! — quantifying how much a formula-only evaluation would miss.
+//!
+//! Run: `cargo bench -p scanguard-bench --bench ablation_analytic`
+
+use scanguard_core::{analytic_cost, CodeChoice, Synthesizer};
+use scanguard_designs::Fifo;
+use scanguard_harness::{print_table, PAPER_W_SWEEP};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("comparing constructed vs analytic monitor area on the 32x32 FIFO...");
+    let mut rows = Vec::new();
+    let mut worst_ratio: f64 = 1.0;
+    for code in [CodeChoice::crc16(), CodeChoice::hamming7_4()] {
+        for &w in &PAPER_W_SWEEP {
+            let fifo = Fifo::generate(32, 32);
+            let design = Synthesizer::new(fifo.netlist)
+                .chains(w)
+                .code(code)
+                .build()
+                .expect("synthesis");
+            let constructed =
+                design.protected.total_area_um2 - design.baseline.total_area_um2;
+            let analytic = analytic_cost(1040, w, code, &design.library, 100.0);
+            let ratio = analytic.monitor_area_um2 / constructed;
+            worst_ratio = worst_ratio.max(ratio.max(1.0 / ratio));
+            rows.push(format!(
+                "{:<13} W={:<3} constructed {:>8.0} um^2   analytic {:>8.0} um^2   ratio {:>5.2}",
+                code.name(),
+                w,
+                constructed,
+                analytic.monitor_area_um2,
+                ratio
+            ));
+        }
+    }
+    print_table(
+        "constructed-gates vs closed-form monitor area",
+        "code          W    constructed            analytic             ratio",
+        &rows,
+    );
+    println!("worst-case disagreement: x{worst_ratio:.2}");
+    let ok = worst_ratio < 2.0;
+    println!(
+        "shape check: {} (analytic tracks construction within 2x; the\n\
+         constructed number is authoritative because it prices every real\n\
+         gate: sequencers, syndrome cones, feedback XORs, mode muxes)",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("elapsed: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,66 @@
+//! **E7 ablation**: rush-current reduction techniques (paper refs [7]
+//! and [8]) versus the proposed scan-based monitoring, over Monte-Carlo
+//! wake events on the paper's 80x13 retention array.
+//!
+//! The paper's Sec. I argument, quantified: reduction techniques lower
+//! the *probability* of upsets but cannot repair the ones that still
+//! happen; monitoring adds wake latency but recovers the state.
+//!
+//! Trials scale with `SCANGUARD_RUSH_TRIALS` (default 2000).
+//!
+//! Run: `cargo bench -p scanguard-bench --bench ablation_rush`
+
+use scanguard_bench::env_scale;
+use scanguard_harness::{ablation_rush, print_table};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let trials = env_scale("RUSH_TRIALS", 2000);
+    println!("running rush-current ablation: {trials} wake events per strategy...");
+    let rows = ablation_rush(80, 13, trials, 0xE7);
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{:<32} {:>8.3} {:>8} {:>9.3} {:>10.3}",
+                r.strategy, r.peak_bounce_v, r.wake_cycles, r.upset_prob, r.residual_prob
+            )
+        })
+        .collect();
+    print_table(
+        "E7 — wake strategies vs proposed monitoring (80x13 retention array)",
+        &format!(
+            "{:<32} {:>8} {:>8} {:>9} {:>10}",
+            "strategy", "bounceV", "cycles", "P(upset)", "P(corrupt)"
+        ),
+        &rendered,
+    );
+
+    let by = |n: &str| rows.iter().find(|r| r.strategy.starts_with(n)).expect("row");
+    let full = by("full-bank");
+    let stag8 = by("staggered x8 [");
+    let proposed = by("full-bank + monitor");
+    let mut ok = true;
+    if stag8.peak_bounce_v >= full.peak_bounce_v {
+        println!("FAIL: staggering must reduce bounce");
+        ok = false;
+    }
+    if proposed.residual_prob >= full.residual_prob {
+        println!("FAIL: monitoring must reduce residual corruption");
+        ok = false;
+    }
+    if (full.residual_prob - full.upset_prob).abs() > 1e-12 {
+        println!("FAIL: without monitoring, every upset stays");
+        ok = false;
+    }
+    if proposed.wake_cycles <= full.wake_cycles {
+        println!("FAIL: monitoring must cost decode latency");
+        ok = false;
+    }
+    println!("shape check: {}", if ok { "PASS" } else { "FAIL" });
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("elapsed: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,87 @@
+//! **Fig. 10 reproduction**: error-correction ability of the four
+//! Hamming codes when 1..=10 errors are injected into 1000-bit test
+//! sequences (the paper simulated one million sequences; scale ours with
+//! `SCANGUARD_FIG10_SEQS`, default 50,000 per point).
+//!
+//! Run: `cargo bench -p scanguard-bench --bench fig10_correction`
+
+use scanguard_bench::env_scale;
+use scanguard_harness::paper::FIG10_ANCHORS;
+use scanguard_harness::{fig10_family, print_table, Fig10Config};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let sequences = env_scale("FIG10_SEQS", 50_000);
+    println!("running Fig. 10 Monte-Carlo: 4 codes x 10 error counts x {sequences} sequences...");
+    let cfg = Fig10Config {
+        sequences,
+        ..Fig10Config::default()
+    };
+    let family = fig10_family(&cfg);
+
+    let mut rows = Vec::new();
+    let header = {
+        let mut h = format!("{:<16}", "injected");
+        for k in 1..=10 {
+            h.push_str(&format!("{k:>7}"));
+        }
+        h
+    };
+    for (name, pts) in &family {
+        let mut line = format!("{name:<16}");
+        for p in pts {
+            line.push_str(&format!("{:>7.2}", p.corrected_pct));
+        }
+        rows.push(line);
+    }
+    print_table(
+        "Fig. 10 — % errors corrected vs injected errors per 1000-bit sequence",
+        &header,
+        &rows,
+    );
+
+    println!("paper anchor points:");
+    let mut ok = true;
+    for (code, injected, paper_pct) in FIG10_ANCHORS {
+        let ours = family
+            .iter()
+            .find(|(n, _)| n == code)
+            .and_then(|(_, pts)| pts.iter().find(|p| p.injected == injected))
+            .expect("anchor point measured");
+        println!(
+            "  {code} @ {injected} errors: paper {paper_pct:.2}%, ours {:.2}%",
+            ours.corrected_pct
+        );
+        // Shape tolerance: within 12 percentage points of the paper
+        // (the paper's injection details — burstiness, counting — are
+        // under-specified; ordering matters more than magnitude).
+        if (ours.corrected_pct - paper_pct).abs() > 12.0 {
+            println!("    WARN: deviation exceeds 12 points");
+        }
+    }
+    // Hard shape requirements: family ordering at every error count and
+    // monotone decrease.
+    for k in 0..10 {
+        let col: Vec<f64> = family.iter().map(|(_, pts)| pts[k].corrected_pct).collect();
+        if !(col[0] >= col[1] && col[1] >= col[2] && col[2] >= col[3]) {
+            println!("FAIL: family ordering violated at {} errors: {col:?}", k + 1);
+            ok = false;
+        }
+    }
+    for (name, pts) in &family {
+        if pts[0].corrected_pct < 99.999 {
+            println!("FAIL: {name} must correct 100% of single errors");
+            ok = false;
+        }
+        if pts[9].corrected_pct > pts[1].corrected_pct {
+            println!("FAIL: {name} correction must degrade with error count");
+            ok = false;
+        }
+    }
+    println!("shape check: {}", if ok { "PASS" } else { "FAIL" });
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("elapsed: {:.1}s", t0.elapsed().as_secs_f64());
+}

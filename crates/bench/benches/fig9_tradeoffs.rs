@@ -1,0 +1,92 @@
+//! **Fig. 9 reproduction**: the trade-off curves derived from Tables
+//! I/II — (a) area overhead and coding power vs. number of scan chains,
+//! (b) latency and energy vs. number of scan chains, for CRC-16 and
+//! Hamming(7,4).
+//!
+//! Run: `cargo bench -p scanguard-bench --bench fig9_tradeoffs`
+
+use scanguard_harness::paper::{TABLE1, TABLE2};
+use scanguard_harness::{print_table, table1, table2};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("measuring Fig. 9 series (both sweeps)...");
+    let crc = table1();
+    let ham = table2();
+
+    // (a) area overhead % and coding power vs W.
+    let mut a = Vec::new();
+    a.push(format!(
+        "{:>3} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+        "W", "crc%", "crc% (p)", "ham%", "ham% (p)", "crc mW", "crc (p)", "ham mW", "ham (p)"
+    ));
+    for i in 0..crc.len() {
+        a.push(format!(
+            "{:>3} | {:>9.1} {:>9.1} {:>9.1} {:>9.1} | {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            crc[i].chains,
+            crc[i].overhead_pct,
+            TABLE1[i].overhead_pct,
+            ham[i].overhead_pct,
+            TABLE2[i].overhead_pct,
+            crc[i].enc_power_mw,
+            TABLE1[i].enc_power_mw,
+            ham[i].enc_power_mw,
+            TABLE2[i].enc_power_mw
+        ));
+    }
+    print_table(
+        "Fig. 9(a) — area overhead and coding power vs number of scan chains ((p) = paper)",
+        "",
+        &a,
+    );
+
+    // (b) latency and energy vs W.
+    let mut b = Vec::new();
+    b.push(format!(
+        "{:>3} | {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+        "W", "t(ns)", "t (p)", "crc nJ", "crc (p)", "ham nJ", "ham (p)"
+    ));
+    for i in 0..crc.len() {
+        b.push(format!(
+            "{:>3} | {:>9.0} {:>9.0} | {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            crc[i].chains,
+            crc[i].latency_ns,
+            TABLE1[i].latency_ns,
+            crc[i].enc_energy_nj,
+            TABLE1[i].enc_energy_nj,
+            ham[i].enc_energy_nj,
+            TABLE2[i].enc_energy_nj
+        ));
+    }
+    print_table(
+        "Fig. 9(b) — latency and coding energy vs number of scan chains ((p) = paper)",
+        "",
+        &b,
+    );
+
+    // Shape assertions from the paper's reading of Fig. 9:
+    // latency identical for both codes; Hamming energy 20-40%+ above
+    // CRC; both fall steeply with W.
+    let mut ok = true;
+    for i in 0..crc.len() {
+        if (crc[i].latency_ns - ham[i].latency_ns).abs() > 1e-9 {
+            println!("FAIL: latency depends only on chain length");
+            ok = false;
+        }
+        if ham[i].enc_energy_nj <= crc[i].enc_energy_nj {
+            println!("FAIL: Hamming coding energy must exceed CRC");
+            ok = false;
+        }
+    }
+    let latency_drop = crc[0].latency_ns / crc.last().unwrap().latency_ns;
+    println!("latency drop W=4 -> W=80: x{latency_drop:.0} (paper: x20)");
+    if (latency_drop - 20.0).abs() > 1e-6 {
+        ok = false;
+    }
+    println!("shape check: {}", if ok { "PASS" } else { "FAIL" });
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("elapsed: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the substrate itself: code throughput,
+//! simulator cycle rate and full protect/sleep/wake latency. These do
+//! not reproduce a paper figure; they quantify the reproduction's own
+//! performance.
+//!
+//! Run: `cargo bench -p scanguard-bench --bench perf_criterion`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use scanguard_codes::{BlockCode, Crc, Hamming, SequenceCodec};
+use scanguard_core::{CodeChoice, Synthesizer};
+use scanguard_designs::Fifo;
+use scanguard_netlist::{CellLibrary, Logic};
+use scanguard_sim::Simulator;
+
+fn bench_codes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codes");
+    let code = Hamming::h7_4();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("hamming7_4_encode", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37);
+            code.encode(x & 0xF)
+        });
+    });
+    g.bench_function("hamming7_4_correct", |b| {
+        let parity = code.encode(0b1010);
+        b.iter(|| code.correct(std::hint::black_box(0b1011), parity));
+    });
+    let crc = Crc::crc16_ccitt();
+    let bits: Vec<bool> = (0..1000).map(|i| i % 3 == 0).collect();
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("crc16_1000_bits", |b| {
+        b.iter(|| crc.checksum_bits(std::hint::black_box(&bits)));
+    });
+    let codec = SequenceCodec::new(Box::new(Hamming::h7_4()));
+    g.bench_function("sequence_protect_1000_bits", |b| {
+        b.iter(|| codec.protect(std::hint::black_box(&bits)));
+    });
+    let parities = codec.protect(&bits);
+    g.bench_function("sequence_recover_1000_bits", |b| {
+        b.iter_batched(
+            || bits.clone(),
+            |mut seq| codec.recover(&mut seq, &parities),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    let fifo = Fifo::generate(32, 32);
+    let lib = CellLibrary::st120nm();
+    let nl = fifo.netlist.clone();
+    g.throughput(Throughput::Elements(nl.cell_count() as u64));
+    g.bench_function("fifo32x32_step", |b| {
+        let mut sim = Simulator::new(&nl, &lib);
+        sim.set_port("rst", Logic::One).unwrap();
+        sim.set_port("wr_en", Logic::Zero).unwrap();
+        sim.set_port("rd_en", Logic::Zero).unwrap();
+        for i in 0..32 {
+            sim.set_port(&format!("din[{i}]"), Logic::Zero).unwrap();
+        }
+        sim.step();
+        sim.set_port("rst", Logic::Zero).unwrap();
+        b.iter(|| sim.step());
+    });
+    g.finish();
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow");
+    g.sample_size(10);
+    g.bench_function("synthesize_fifo32x32_hamming_w80", |b| {
+        b.iter_batched(
+            || Fifo::generate(32, 32).netlist,
+            |nl| {
+                Synthesizer::new(nl)
+                    .chains(80)
+                    .code(CodeChoice::hamming7_4())
+                    .build()
+                    .expect("synthesis")
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    let fifo = Fifo::generate(32, 32);
+    let design = Synthesizer::new(fifo.netlist)
+        .chains(80)
+        .code(CodeChoice::hamming7_4())
+        .build()
+        .expect("synthesis");
+    g.bench_function("sleep_wake_cycle_fifo32x32_w80", |b| {
+        let mut rt = design.runtime();
+        rt.load_random_state(1);
+        b.iter(|| rt.sleep_wake(|_, _| 0));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codes, bench_simulator, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! **Table I reproduction**: encoding/decoding circuit area overhead,
+//! power, latency and energy for CRC-16 across scan-chain
+//! configurations W in {4, 8, 16, 40, 80} on the 32x32 FIFO.
+//!
+//! Run: `cargo bench -p scanguard-bench --bench table1_crc16`
+
+use scanguard_bench::{check_sweep_shape, compare_cost_rows};
+use scanguard_harness::paper::TABLE1;
+use scanguard_harness::{print_table, table1};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("measuring Table I (CRC-16 sweep on the 32x32 FIFO)...");
+    let rows = table1();
+    let mut rendered = Vec::new();
+    for (paper, ours) in TABLE1.iter().zip(&rows) {
+        rendered.extend(compare_cost_rows(paper, ours));
+    }
+    print_table(
+        "Table I — 32x32 FIFO, CRC-16, 100 MHz (paper: ST 120nm / ours: calibrated 120nm-class)",
+        "rows alternate paper / measured",
+        &rendered,
+    );
+    let violations = check_sweep_shape(&TABLE1, &rows);
+    if violations.is_empty() {
+        println!("shape check: PASS (latency/energy fall with W, overhead grows)");
+    } else {
+        println!("shape check: FAIL");
+        for v in &violations {
+            println!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("elapsed: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,61 @@
+//! **Table II reproduction**: the same sweep as Table I with
+//! Hamming(7,4) correction instead of CRC-16 detection.
+//!
+//! Run: `cargo bench -p scanguard-bench --bench table2_hamming74`
+
+use scanguard_bench::{check_sweep_shape, compare_cost_rows};
+use scanguard_harness::paper::{TABLE1, TABLE2};
+use scanguard_harness::{print_table, table1, table2};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("measuring Table II (Hamming(7,4) sweep on the 32x32 FIFO)...");
+    let rows = table2();
+    let mut rendered = Vec::new();
+    for (paper, ours) in TABLE2.iter().zip(&rows) {
+        rendered.extend(compare_cost_rows(paper, ours));
+    }
+    print_table(
+        "Table II — 32x32 FIFO, Hamming(7,4), 100 MHz",
+        "rows alternate paper / measured",
+        &rendered,
+    );
+    let violations = check_sweep_shape(&TABLE2, &rows);
+    if !violations.is_empty() {
+        println!("shape check: FAIL");
+        for v in &violations {
+            println!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    // Cross-table relation the paper highlights: Hamming costs far more
+    // area than CRC but only 20-40% more power (scan switching is the
+    // common dominant term).
+    println!("cross-checking against Table I (CRC-16)...");
+    let crc = table1();
+    let mut relation_ok = true;
+    for (h, c) in rows.iter().zip(&crc) {
+        let area_ratio = h.overhead_pct / c.overhead_pct.max(1e-9);
+        let power_ratio = h.enc_power_mw / c.enc_power_mw;
+        println!(
+            "  W={:<3} overhead x{:.1}, power x{:.2} (paper: x{:.1} / x{:.2})",
+            h.chains,
+            area_ratio,
+            power_ratio,
+            TABLE2[0].overhead_pct / TABLE1[0].overhead_pct,
+            TABLE2[0].enc_power_mw / TABLE1[0].enc_power_mw
+        );
+        if h.overhead_pct <= c.overhead_pct || power_ratio <= 1.0 {
+            relation_ok = false;
+        }
+    }
+    println!(
+        "shape check: {}",
+        if relation_ok { "PASS" } else { "FAIL" }
+    );
+    if !relation_ok {
+        std::process::exit(1);
+    }
+    println!("elapsed: {:.1}s", t0.elapsed().as_secs_f64());
+}

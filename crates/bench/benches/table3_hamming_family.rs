@@ -1,0 +1,68 @@
+//! **Table III reproduction**: area overhead and power of the Hamming
+//! code family — (7,4), (15,11), (31,26), (63,57) — each with the
+//! paper's matched chain count (56, 55, 52, 57) on the 32x32 FIFO.
+//!
+//! Run: `cargo bench -p scanguard-bench --bench table3_hamming_family`
+
+use scanguard_harness::paper::TABLE3;
+use scanguard_harness::{print_table, table3};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("measuring Table III (Hamming family on the 32x32 FIFO)...");
+    let rows = table3();
+    let mut rendered = Vec::new();
+    for (paper, ours) in TABLE3.iter().zip(&rows) {
+        rendered.push(format!(
+            "{:<15} W={:<3} paper: {:>7.0}um^2 {:>5.1}% enc {:>4.2}mW dec {:>4.2}mW cap {:>5.2}%",
+            paper.code,
+            paper.chains,
+            paper.total_area_um2,
+            paper.overhead_pct,
+            paper.enc_power_mw,
+            paper.dec_power_mw,
+            paper.capability_pct
+        ));
+        rendered.push(format!(
+            "{:<15}       ours:  {:>7.0}um^2 {:>5.1}% enc {:>4.2}mW dec {:>4.2}mW cap {:>5.2}%",
+            "", ours.total_area_um2, ours.overhead_pct, ours.enc_power_mw,
+            ours.dec_power_mw, ours.capability_pct
+        ));
+    }
+    print_table(
+        "Table III — Hamming code family, 32x32 FIFO, 100 MHz",
+        "rows alternate paper / measured",
+        &rendered,
+    );
+
+    // Shape: overhead and capability strictly decreasing down the
+    // family; capability column matches the paper exactly (1/n).
+    let mut ok = true;
+    for w in rows.windows(2) {
+        if w[1].overhead_pct >= w[0].overhead_pct {
+            println!("FAIL: overhead must fall down the family");
+            ok = false;
+        }
+        if w[1].enc_power_mw >= w[0].enc_power_mw {
+            println!("FAIL: encode power must fall down the family");
+            ok = false;
+        }
+    }
+    for (p, o) in TABLE3.iter().zip(&rows) {
+        if (p.capability_pct - o.capability_pct).abs() > 0.05 {
+            println!("FAIL: capability {} vs paper {}", o.capability_pct, p.capability_pct);
+            ok = false;
+        }
+    }
+    let reduction_ours = rows[0].overhead_pct / rows[3].overhead_pct;
+    let reduction_paper = TABLE3[0].overhead_pct / TABLE3[3].overhead_pct;
+    println!(
+        "overhead span (7,4)/(63,57): ours x{reduction_ours:.1}, paper x{reduction_paper:.1}"
+    );
+    println!("shape check: {}", if ok { "PASS" } else { "FAIL" });
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("elapsed: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,150 @@
+//! # scanguard-bench
+//!
+//! Shared helpers for the per-table/figure bench targets (the actual
+//! experiments live in `scanguard-harness`; the benches format and
+//! compare against the paper's published numbers from
+//! [`scanguard_harness::paper`]).
+//!
+//! Run everything with `cargo bench --workspace`; individual
+//! reproductions with e.g.
+//! `cargo bench -p scanguard-bench --bench table1_crc16`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use scanguard_core::CostRow;
+use scanguard_harness::paper::PaperCostRow;
+
+/// Reads an experiment-scale override from the environment
+/// (`SCANGUARD_<NAME>`), falling back to `default`. Used to scale
+/// Monte-Carlo sequence counts up to paper scale when desired.
+#[must_use]
+pub fn env_scale(name: &str, default: u64) -> u64 {
+    std::env::var(format!("SCANGUARD_{name}"))
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Renders a measured [`CostRow`] next to its paper counterpart as two
+/// lines (`paper:` / `ours:`).
+#[must_use]
+pub fn compare_cost_rows(paper: &PaperCostRow, ours: &CostRow) -> Vec<String> {
+    vec![
+        format!(
+            "W={:<3} paper: l={:<4} {:>7.0}um^2 {:>5.1}% enc {:>5.2}mW dec {:>5.2}mW t={:>6.0}ns E={:>6.2}/{:<6.2}nJ",
+            paper.chains,
+            paper.chain_len,
+            paper.area_um2,
+            paper.overhead_pct,
+            paper.enc_power_mw,
+            paper.dec_power_mw,
+            paper.latency_ns,
+            paper.enc_energy_nj,
+            paper.dec_energy_nj
+        ),
+        format!(
+            "      ours:  l={:<4} {:>7.0}um^2 {:>5.1}% enc {:>5.2}mW dec {:>5.2}mW t={:>6.0}ns E={:>6.2}/{:<6.2}nJ",
+            ours.chain_len,
+            ours.area_um2,
+            ours.overhead_pct,
+            ours.enc_power_mw,
+            ours.dec_power_mw,
+            ours.latency_ns,
+            ours.enc_energy_nj,
+            ours.dec_energy_nj
+        ),
+    ]
+}
+
+/// Checks the qualitative *shape* agreement between a measured sweep and
+/// the paper's sweep: monotonicity of latency/energy/area overhead in W.
+/// Returns a list of human-readable violations (empty = shape holds).
+#[must_use]
+pub fn check_sweep_shape(paper: &[PaperCostRow], ours: &[CostRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    if paper.len() != ours.len() {
+        violations.push(format!(
+            "row count mismatch: paper {} vs ours {}",
+            paper.len(),
+            ours.len()
+        ));
+        return violations;
+    }
+    for (p, o) in paper.iter().zip(ours) {
+        if p.chains != o.chains {
+            violations.push(format!("W mismatch: {} vs {}", p.chains, o.chains));
+        }
+        if (p.latency_ns - o.latency_ns).abs() > 1e-6 {
+            violations.push(format!(
+                "W={}: latency {} != paper {} (l x T is exact)",
+                p.chains, o.latency_ns, p.latency_ns
+            ));
+        }
+    }
+    for w in ours.windows(2) {
+        if w[1].latency_ns >= w[0].latency_ns {
+            violations.push("latency must fall with W".to_owned());
+        }
+        if w[1].enc_energy_nj >= w[0].enc_energy_nj {
+            violations.push("encode energy must fall with W".to_owned());
+        }
+        if w[1].overhead_pct <= w[0].overhead_pct {
+            violations.push("area overhead must grow with W".to_owned());
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanguard_harness::paper::TABLE1;
+
+    fn fake_row(chains: usize, chain_len: usize, latency: f64, energy: f64, ovh: f64) -> CostRow {
+        CostRow {
+            code: "CRC-16".into(),
+            chains,
+            chain_len,
+            area_um2: 80_000.0,
+            overhead_pct: ovh,
+            enc_power_mw: 5.0,
+            dec_power_mw: 5.0,
+            latency_ns: latency,
+            enc_energy_nj: energy,
+            dec_energy_nj: energy,
+        }
+    }
+
+    #[test]
+    fn shape_checker_accepts_paper_like_sweeps() {
+        let ours: Vec<CostRow> = TABLE1
+            .iter()
+            .map(|p| fake_row(p.chains, p.chain_len, p.latency_ns, p.enc_energy_nj, p.overhead_pct))
+            .collect();
+        assert!(check_sweep_shape(&TABLE1, &ours).is_empty());
+    }
+
+    #[test]
+    fn shape_checker_flags_inverted_trends() {
+        let mut ours: Vec<CostRow> = TABLE1
+            .iter()
+            .map(|p| fake_row(p.chains, p.chain_len, p.latency_ns, p.enc_energy_nj, p.overhead_pct))
+            .collect();
+        ours[4].enc_energy_nj = 99.0;
+        assert!(!check_sweep_shape(&TABLE1, &ours).is_empty());
+    }
+
+    #[test]
+    fn env_scale_defaults() {
+        assert_eq!(env_scale("DEFINITELY_UNSET_VAR_X", 7), 7);
+    }
+
+    #[test]
+    fn compare_renders_both_lines() {
+        let ours = fake_row(4, 260, 2600.0, 12.0, 3.0);
+        let lines = compare_cost_rows(&TABLE1[0], &ours);
+        assert!(lines[0].contains("paper:"));
+        assert!(lines[1].contains("ours:"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for code construction and use.
+
+use std::fmt;
+
+/// Errors raised when constructing or applying a code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// The requested Hamming order is outside the supported range.
+    UnsupportedHammingOrder {
+        /// The requested number of parity bits `m`.
+        m: u32,
+    },
+    /// A data word wider than the code's data width `k` was supplied.
+    DataTooWide {
+        /// Bits provided.
+        got: u32,
+        /// Maximum data width of the code.
+        k: u32,
+    },
+    /// A CRC width outside `1..=32` was requested.
+    InvalidCrcWidth {
+        /// The requested width.
+        width: u32,
+    },
+    /// The polynomial does not fit in the requested CRC width.
+    PolynomialTooWide {
+        /// The requested width.
+        width: u32,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::UnsupportedHammingOrder { m } => {
+                write!(f, "unsupported hamming order m={m} (supported: 2..=6)")
+            }
+            CodeError::DataTooWide { got, k } => {
+                write!(f, "data word of {got} bits exceeds code data width k={k}")
+            }
+            CodeError::InvalidCrcWidth { width } => {
+                write!(f, "crc width {width} outside supported range 1..=32")
+            }
+            CodeError::PolynomialTooWide { width } => {
+                write!(f, "polynomial does not fit in {width} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert_eq!(
+            CodeError::UnsupportedHammingOrder { m: 9 }.to_string(),
+            "unsupported hamming order m=9 (supported: 2..=6)"
+        );
+        assert_eq!(
+            CodeError::InvalidCrcWidth { width: 0 }.to_string(),
+            "crc width 0 outside supported range 1..=32"
+        );
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<E: std::error::Error + Send + Sync + 'static>() {}
+        check::<CodeError>();
+    }
+}

@@ -1,0 +1,538 @@
+//! Hamming codes — the correcting codes evaluated by the paper
+//! (Table III / Fig. 10): (7,4), (15,11), (31,26) and (63,57) — plus the
+//! extended SEC-DED variants.
+
+use crate::{BlockCode, CodeError, Decoded};
+
+/// A systematic Hamming `(2^m - 1, 2^m - 1 - m)` single-error-correcting
+/// code, `m` in `2..=6`.
+///
+/// Layout follows the classic construction: codeword positions are
+/// numbered `1..=n`; parity bits sit at power-of-two positions; data bits
+/// fill the rest in ascending order. The stored parity word equals the
+/// syndrome contribution of the data bits, so that at decode time
+/// `syndrome = stored_parity XOR recomputed_parity` is directly the
+/// 1-based position of a single corrupted bit.
+///
+/// In the paper's architecture the parity word lives in the **always-on**
+/// monitor domain, so only the `k` data bits (which travel through the
+/// power-gated scan chains) are exposed to wake-up corruption. `decode`
+/// therefore interprets a syndrome pointing at a parity position as
+/// [`Decoded::Detected`] rather than correcting the (clean) parity store.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_codes::{BlockCode, Decoded, Hamming};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let code = Hamming::new(3)?; // (7,4)
+/// let parity = code.encode(0b1011);
+/// assert_eq!(code.decode(0b1011, parity), Decoded::Clean);
+///
+/// // Flip one data bit: located and corrected.
+/// let (fixed, outcome) = code.correct(0b1011 ^ 0b0100, parity);
+/// assert_eq!(fixed, 0b1011);
+/// assert_eq!(outcome, Decoded::Corrected { bit: 2 });
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Hamming {
+    m: u32,
+    n: u32,
+    k: u32,
+    /// 1-based codeword position of each data bit, ascending; length `k`.
+    data_pos: Vec<u32>,
+    /// Inverse map: `data_bit_of[pos - 1] = Some(data index)` for data
+    /// positions, `None` for parity positions.
+    data_bit_of: Vec<Option<u32>>,
+}
+
+impl Hamming {
+    /// Builds the Hamming code with `m` parity bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::UnsupportedHammingOrder`] unless `2 <= m <= 6`
+    /// (the range that keeps data words within `u64` and covers every code
+    /// the paper evaluates).
+    pub fn new(m: u32) -> Result<Self, CodeError> {
+        if !(2..=6).contains(&m) {
+            return Err(CodeError::UnsupportedHammingOrder { m });
+        }
+        let n = (1u32 << m) - 1;
+        let k = n - m;
+        let mut data_pos = Vec::with_capacity(k as usize);
+        let mut data_bit_of = vec![None; n as usize];
+        for pos in 1..=n {
+            if !pos.is_power_of_two() {
+                data_bit_of[(pos - 1) as usize] = Some(data_pos.len() as u32);
+                data_pos.push(pos);
+            }
+        }
+        Ok(Hamming {
+            m,
+            n,
+            k,
+            data_pos,
+            data_bit_of,
+        })
+    }
+
+    /// The (7,4) code — best correction capability in Fig. 10.
+    #[must_use]
+    pub fn h7_4() -> Self {
+        Hamming::new(3).expect("m=3 is supported")
+    }
+
+    /// The (15,11) code.
+    #[must_use]
+    pub fn h15_11() -> Self {
+        Hamming::new(4).expect("m=4 is supported")
+    }
+
+    /// The (31,26) code.
+    #[must_use]
+    pub fn h31_26() -> Self {
+        Hamming::new(5).expect("m=5 is supported")
+    }
+
+    /// The (63,57) code — smallest area overhead in Table III.
+    #[must_use]
+    pub fn h63_57() -> Self {
+        Hamming::new(6).expect("m=6 is supported")
+    }
+
+    /// All four codes evaluated by the paper, largest redundancy first
+    /// (the order of Table III).
+    #[must_use]
+    pub fn paper_family() -> Vec<Hamming> {
+        vec![
+            Hamming::h7_4(),
+            Hamming::h15_11(),
+            Hamming::h31_26(),
+            Hamming::h63_57(),
+        ]
+    }
+
+    /// Number of parity bits `m`.
+    #[must_use]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// 1-based codeword positions of the data bits.
+    #[must_use]
+    pub fn data_positions(&self) -> &[u32] {
+        &self.data_pos
+    }
+
+    /// XOR of the 1-based positions of all set data bits — the syndrome
+    /// contribution of the data, which doubles as the stored parity word.
+    fn data_syndrome(&self, data: u64) -> u64 {
+        debug_assert!(
+            self.k == 64 || data >> self.k == 0,
+            "data word wider than k={}",
+            self.k
+        );
+        let mut syn = 0u64;
+        let mut rest = data;
+        while rest != 0 {
+            let bit = rest.trailing_zeros();
+            syn ^= u64::from(self.data_pos[bit as usize]);
+            rest &= rest - 1;
+        }
+        syn
+    }
+}
+
+impl BlockCode for Hamming {
+    fn n(&self) -> u32 {
+        self.n
+    }
+
+    fn k(&self) -> u32 {
+        self.k
+    }
+
+    fn parity_width(&self) -> u32 {
+        self.m
+    }
+
+    fn encode(&self, data: u64) -> u64 {
+        self.data_syndrome(data)
+    }
+
+    fn decode(&self, data: u64, parity: u64) -> Decoded {
+        let syn = self.data_syndrome(data) ^ parity;
+        if syn == 0 {
+            return Decoded::Clean;
+        }
+        if syn <= u64::from(self.n) {
+            if let Some(bit) = self.data_bit_of[(syn - 1) as usize] {
+                return Decoded::Corrected { bit };
+            }
+        }
+        // Syndrome points at a (clean, always-on) parity position or
+        // outside the codeword: must be a multi-bit pattern.
+        Decoded::Detected
+    }
+
+    fn name(&self) -> String {
+        format!("Hamming({},{})", self.n, self.k)
+    }
+}
+
+/// Extended Hamming code (SEC-DED): the base code plus one overall parity
+/// bit over the data word, giving single-error correction *and* reliable
+/// double-error detection (no miscorrection on double errors).
+///
+/// The paper discusses plain Hamming's inability to handle clustered
+/// multi-errors (Sec. IV); the SEC-DED variant is the classical fix and
+/// is benchmarked against it in the `ablation_secded` experiment.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_codes::{BlockCode, Decoded, ExtendedHamming, Hamming};
+///
+/// let secded = ExtendedHamming::new(Hamming::h7_4());
+/// let parity = secded.encode(0b0110);
+/// // A double error is *detected*, never miscorrected.
+/// assert_eq!(secded.decode(0b0110 ^ 0b0011, parity), Decoded::Detected);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ExtendedHamming {
+    inner: Hamming,
+}
+
+impl ExtendedHamming {
+    /// Wraps a base Hamming code with an overall parity bit.
+    #[must_use]
+    pub fn new(inner: Hamming) -> Self {
+        ExtendedHamming { inner }
+    }
+
+    /// The underlying Hamming code.
+    #[must_use]
+    pub fn base(&self) -> &Hamming {
+        &self.inner
+    }
+}
+
+impl BlockCode for ExtendedHamming {
+    fn n(&self) -> u32 {
+        self.inner.n + 1
+    }
+
+    fn k(&self) -> u32 {
+        self.inner.k
+    }
+
+    fn parity_width(&self) -> u32 {
+        self.inner.m + 1
+    }
+
+    fn encode(&self, data: u64) -> u64 {
+        let syn = self.inner.data_syndrome(data);
+        let overall = u64::from(data.count_ones() & 1);
+        syn | (overall << self.inner.m)
+    }
+
+    fn decode(&self, data: u64, parity: u64) -> Decoded {
+        let stored_syn = parity & ((1u64 << self.inner.m) - 1);
+        let stored_overall = (parity >> self.inner.m) & 1;
+        let syn = self.inner.data_syndrome(data) ^ stored_syn;
+        let overall = u64::from(data.count_ones() & 1) ^ stored_overall;
+        match (syn, overall) {
+            (0, 0) => Decoded::Clean,
+            (0, _) => Decoded::Detected, // odd multi-error aliasing to 0
+            (_, 0) => Decoded::Detected, // even error count: classic DED
+            (s, _) => {
+                if s <= u64::from(self.inner.n) {
+                    if let Some(bit) = self.inner.data_bit_of[(s - 1) as usize] {
+                        return Decoded::Corrected { bit };
+                    }
+                }
+                Decoded::Detected
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("ExtHamming({},{})", self.n(), self.k())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_parameters_match_paper_family() {
+        let expect = [(3, 7, 4), (4, 15, 11), (5, 31, 26), (6, 63, 57)];
+        for (m, n, k) in expect {
+            let c = Hamming::new(m).unwrap();
+            assert_eq!(c.n(), n);
+            assert_eq!(c.k(), k);
+            assert_eq!(c.parity_width(), m);
+        }
+        assert!(Hamming::new(1).is_err());
+        assert!(Hamming::new(7).is_err());
+    }
+
+    #[test]
+    fn redundancy_and_capability_match_table3() {
+        // Table III cap(%) column: 14.3, 6.67, 3.23, 1.59.
+        let caps: Vec<f64> = Hamming::paper_family()
+            .iter()
+            .map(BlockCode::correction_capability_pct)
+            .collect();
+        assert!((caps[0] - 14.29).abs() < 0.01);
+        assert!((caps[1] - 6.67).abs() < 0.01);
+        assert!((caps[2] - 3.23).abs() < 0.01);
+        assert!((caps[3] - 1.59).abs() < 0.01);
+        // Redundancy strictly decreasing.
+        let reds: Vec<f64> = Hamming::paper_family()
+            .iter()
+            .map(BlockCode::redundancy)
+            .collect();
+        assert!(reds.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn clean_roundtrip_all_words_h7_4() {
+        let c = Hamming::h7_4();
+        for data in 0u64..16 {
+            let p = c.encode(data);
+            assert_eq!(c.decode(data, p), Decoded::Clean, "data {data:04b}");
+        }
+    }
+
+    #[test]
+    fn every_single_error_is_corrected_exhaustive() {
+        for c in Hamming::paper_family() {
+            // Sample data words (exhaustive for small k).
+            let samples: Vec<u64> = if c.k() <= 11 {
+                (0..(1u64 << c.k())).collect()
+            } else {
+                (0..2048u64)
+                    .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u64 << c.k()) - 1))
+                    .collect()
+            };
+            for data in samples {
+                let p = c.encode(data);
+                for bit in 0..c.k() {
+                    let corrupt = data ^ (1u64 << bit);
+                    let (fixed, outcome) = c.correct(corrupt, p);
+                    assert_eq!(fixed, data, "{} data={data:b} bit={bit}", c.name());
+                    assert_eq!(outcome, Decoded::Corrected { bit });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_error_never_decodes_clean() {
+        let c = Hamming::h7_4();
+        for data in 0u64..16 {
+            let p = c.encode(data);
+            for b1 in 0..4 {
+                for b2 in (b1 + 1)..4 {
+                    let corrupt = data ^ (1 << b1) ^ (1 << b2);
+                    assert_ne!(c.decode(corrupt, p), Decoded::Clean);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_errors_usually_miscorrect_in_plain_hamming() {
+        // The mechanism behind the paper's Sec. IV observation: clustered
+        // multi-errors defeat plain Hamming. With only data positions
+        // corruptible, a double error's syndrome may alias onto a third
+        // data bit (miscorrection) or a parity position (detection).
+        let c = Hamming::h7_4();
+        let mut miscorrections = 0;
+        let mut detections = 0;
+        for data in 0u64..16 {
+            let p = c.encode(data);
+            for b1 in 0..4 {
+                for b2 in (b1 + 1)..4 {
+                    let corrupt = data ^ (1 << b1) ^ (1 << b2);
+                    match c.decode(corrupt, p) {
+                        Decoded::Corrected { .. } => miscorrections += 1,
+                        Decoded::Detected => detections += 1,
+                        Decoded::Clean => unreachable!(),
+                    }
+                }
+            }
+        }
+        assert!(miscorrections > 0, "plain hamming must miscorrect sometimes");
+        assert!(detections > 0, "syndromes hitting parity positions are detections");
+    }
+
+    #[test]
+    fn extended_hamming_detects_all_double_errors() {
+        for base in Hamming::paper_family() {
+            let k = base.k();
+            let c = ExtendedHamming::new(base);
+            let data: u64 = 0x5A5A_5A5A_5A5A_5A5A & ((1u64 << k) - 1);
+            let p = c.encode(data);
+            for b1 in 0..k {
+                for b2 in (b1 + 1)..k {
+                    let corrupt = data ^ (1u64 << b1) ^ (1u64 << b2);
+                    assert_eq!(
+                        c.decode(corrupt, p),
+                        Decoded::Detected,
+                        "{} bits {b1},{b2}",
+                        c.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extended_hamming_still_corrects_singles() {
+        let c = ExtendedHamming::new(Hamming::h15_11());
+        let data = 0b101_1100_1010;
+        let p = c.encode(data);
+        for bit in 0..11 {
+            let (fixed, out) = c.correct(data ^ (1 << bit), p);
+            assert_eq!(fixed, data);
+            assert_eq!(out, Decoded::Corrected { bit });
+        }
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(Hamming::h7_4().name(), "Hamming(7,4)");
+        assert_eq!(
+            ExtendedHamming::new(Hamming::h7_4()).name(),
+            "ExtHamming(8,4)"
+        );
+    }
+
+    #[test]
+    fn works_as_trait_object() {
+        let codes: Vec<Box<dyn BlockCode>> = vec![
+            Box::new(Hamming::h7_4()),
+            Box::new(ExtendedHamming::new(Hamming::h7_4())),
+        ];
+        for c in &codes {
+            let p = c.encode(0b1010);
+            assert_eq!(c.decode(0b1010, p), Decoded::Clean);
+        }
+    }
+}
+
+/// Even-parity code over `k`-bit words: the cheapest possible detector —
+/// one parity bit per word, catching every odd-weight error and nothing
+/// else. Included as the lower anchor of the detection design space the
+/// paper's Sec. V explores (parity store grows with the state size,
+/// where CRC's is flat — the two cross over).
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_codes::{BlockCode, Decoded, EvenParity};
+///
+/// let p = EvenParity::new(4);
+/// let parity = p.encode(0b1011);
+/// assert_eq!(p.decode(0b1011, parity), Decoded::Clean);
+/// assert_eq!(p.decode(0b1010, parity), Decoded::Detected);
+/// // A double flip is invisible to parity:
+/// assert_eq!(p.decode(0b1011 ^ 0b0011, parity), Decoded::Clean);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EvenParity {
+    k: u32,
+}
+
+impl EvenParity {
+    /// A parity code over `k`-bit data words.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= 64`.
+    #[must_use]
+    pub fn new(k: u32) -> Self {
+        assert!((1..=64).contains(&k), "k must be 1..=64");
+        EvenParity { k }
+    }
+}
+
+impl BlockCode for EvenParity {
+    fn n(&self) -> u32 {
+        self.k + 1
+    }
+
+    fn k(&self) -> u32 {
+        self.k
+    }
+
+    fn parity_width(&self) -> u32 {
+        1
+    }
+
+    fn encode(&self, data: u64) -> u64 {
+        u64::from(data.count_ones() & 1)
+    }
+
+    fn decode(&self, data: u64, parity: u64) -> Decoded {
+        if self.encode(data) == parity & 1 {
+            Decoded::Clean
+        } else {
+            Decoded::Detected
+        }
+    }
+
+    fn correction_capability_pct(&self) -> f64 {
+        0.0
+    }
+
+    fn name(&self) -> String {
+        format!("Parity({},{})", self.n(), self.k)
+    }
+}
+
+#[cfg(test)]
+mod parity_tests {
+    use super::*;
+
+    #[test]
+    fn detects_all_odd_misses_all_even() {
+        let p = EvenParity::new(8);
+        let data = 0b1100_0101u64;
+        let parity = p.encode(data);
+        for weight in 1..=8u32 {
+            // A canonical error of the given weight.
+            let error = (1u64 << weight) - 1;
+            let outcome = p.decode(data ^ error, parity);
+            if weight % 2 == 1 {
+                assert_eq!(outcome, Decoded::Detected, "weight {weight}");
+            } else {
+                assert_eq!(outcome, Decoded::Clean, "weight {weight}");
+            }
+        }
+    }
+
+    #[test]
+    fn never_corrects() {
+        let p = EvenParity::new(4);
+        let parity = p.encode(0b1111);
+        let (out, verdict) = p.correct(0b1110, parity);
+        assert_eq!(out, 0b1110, "parity must not touch data");
+        assert_eq!(verdict, Decoded::Detected);
+        assert_eq!(p.correction_capability_pct(), 0.0);
+    }
+
+    #[test]
+    fn redundancy_is_one_over_k() {
+        let p = EvenParity::new(4);
+        assert!((p.redundancy() - 0.25).abs() < 1e-12);
+        assert_eq!(p.name(), "Parity(5,4)");
+    }
+}

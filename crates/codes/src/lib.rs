@@ -1,0 +1,52 @@
+//! # scanguard-codes
+//!
+//! Error detection and correction codes for the `scanguard` reproduction
+//! of *"Scan Based Methodology for Reliable State Retention Power Gating
+//! Designs"* (Yang et al., DATE 2010).
+//!
+//! The paper protects power-gated state with two code families, both
+//! provided here:
+//!
+//! * **[`Hamming`]** single-error-correcting codes `(7,4)`, `(15,11)`,
+//!   `(31,26)`, `(63,57)` (Table III / Fig. 10), plus
+//!   **[`ExtendedHamming`]** SEC-DED variants used by the ablation
+//!   experiments;
+//! * **[`Crc`]** detection codes (Table I uses CRC-16/CCITT), implemented
+//!   as the same bit-serial LFSR the hardware monitor shifts scan data
+//!   through.
+//!
+//! [`SequenceCodec`] applies a block code word-by-word over an
+//! arbitrary-length bit sequence — the exact setup of the paper's Fig. 10
+//! simulation (1000-bit sequences through four Hamming codes).
+//!
+//! # Examples
+//!
+//! ```
+//! use scanguard_codes::{BlockCode, Decoded, Hamming};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let code = Hamming::new(3)?; // Hamming(7,4)
+//! let parity = code.encode(0b1001);
+//! let corrupted = 0b1001 ^ 0b0010;
+//! let (repaired, outcome) = code.correct(corrupted, parity);
+//! assert_eq!(repaired, 0b1001);
+//! assert_eq!(outcome, Decoded::Corrected { bit: 1 });
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod block;
+mod crc;
+mod error;
+mod hamming;
+mod sequence;
+
+pub use block::{BlockCode, Decoded};
+pub use crc::{Crc, CrcDigest};
+pub use error::CodeError;
+pub use hamming::{EvenParity, ExtendedHamming, Hamming};
+pub use sequence::{RecoveryReport, SequenceCodec};

@@ -1,0 +1,251 @@
+//! Protecting long bit sequences word-by-word — the software model of the
+//! paper's Fig. 10 experiment ("a test sequence of 1000 bits, therefore
+//! emulating 1000 flip-flops, passed through the 4 types of Hamming code
+//! implementation").
+//!
+//! A sequence of `L` bits is split into `ceil(L / k)` data words of `k`
+//! bits (the final word zero-padded); each word is encoded independently
+//! and its parity stored in the (always-on, hence uncorruptible) parity
+//! store. Recovery decodes word by word, applying corrections — including
+//! the miscorrections a real decoder cannot avoid — and reports both the
+//! decoder's view and the ground-truth outcome.
+
+use crate::{BlockCode, Decoded};
+
+/// Word-wise protection of an arbitrary-length bit sequence with a
+/// [`BlockCode`].
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_codes::{Hamming, SequenceCodec};
+///
+/// let codec = SequenceCodec::new(Box::new(Hamming::h7_4()));
+/// let data = vec![true; 20];
+/// let parities = codec.protect(&data);
+/// let mut corrupted = data.clone();
+/// corrupted[9] = false;
+/// let report = codec.recover(&mut corrupted, &parities);
+/// assert_eq!(corrupted, data);
+/// assert_eq!(report.corrections, 1);
+/// ```
+#[derive(Debug)]
+pub struct SequenceCodec {
+    code: Box<dyn BlockCode>,
+}
+
+/// Decoder-side statistics from one [`SequenceCodec::recover`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct RecoveryReport {
+    /// Words that decoded clean.
+    pub clean_words: usize,
+    /// Words where the decoder applied a (possibly mis-)correction.
+    pub corrections: usize,
+    /// Words flagged detected-uncorrectable.
+    pub detected_words: usize,
+}
+
+impl RecoveryReport {
+    /// `true` when any word reported an error (corrected or detected).
+    #[must_use]
+    pub fn any_error(&self) -> bool {
+        self.corrections > 0 || self.detected_words > 0
+    }
+}
+
+impl SequenceCodec {
+    /// Wraps a block code.
+    #[must_use]
+    pub fn new(code: Box<dyn BlockCode>) -> Self {
+        SequenceCodec { code }
+    }
+
+    /// The wrapped code.
+    #[must_use]
+    pub fn code(&self) -> &dyn BlockCode {
+        self.code.as_ref()
+    }
+
+    /// Number of words needed for a sequence of `len` bits.
+    #[must_use]
+    pub fn word_count(&self, len: usize) -> usize {
+        len.div_ceil(self.code.k() as usize)
+    }
+
+    /// Total parity storage in bits for a sequence of `len` bits — the
+    /// quantity that drives the Table III area ordering.
+    #[must_use]
+    pub fn parity_storage_bits(&self, len: usize) -> usize {
+        self.word_count(len) * self.code.parity_width() as usize
+    }
+
+    /// Encodes the sequence, returning one parity word per data word.
+    #[must_use]
+    pub fn protect(&self, bits: &[bool]) -> Vec<u64> {
+        let k = self.code.k() as usize;
+        bits.chunks(k)
+            .map(|chunk| self.code.encode(pack(chunk)))
+            .collect()
+    }
+
+    /// Decodes the sequence in place against stored parities, applying
+    /// every correction the decoder believes in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parities.len()` does not match
+    /// [`word_count`](Self::word_count) of the sequence.
+    pub fn recover(&self, bits: &mut [bool], parities: &[u64]) -> RecoveryReport {
+        let k = self.code.k() as usize;
+        assert_eq!(
+            parities.len(),
+            self.word_count(bits.len()),
+            "parity store does not match sequence length"
+        );
+        let mut report = RecoveryReport::default();
+        for (chunk, &parity) in bits.chunks_mut(k).zip(parities) {
+            let word = pack(chunk);
+            let (fixed, outcome) = self.code.correct(word, parity);
+            match outcome {
+                Decoded::Clean => report.clean_words += 1,
+                Decoded::Corrected { .. } => {
+                    report.corrections += 1;
+                    unpack(fixed, chunk);
+                }
+                Decoded::Detected => report.detected_words += 1,
+            }
+        }
+        report
+    }
+
+    /// Decodes without correcting (detection-only pass): returns the
+    /// report a pure-detection monitor (e.g. CRC with software recovery)
+    /// would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parities.len()` does not match the sequence length.
+    #[must_use]
+    pub fn check(&self, bits: &[bool], parities: &[u64]) -> RecoveryReport {
+        let k = self.code.k() as usize;
+        assert_eq!(parities.len(), self.word_count(bits.len()));
+        let mut report = RecoveryReport::default();
+        for (chunk, &parity) in bits.chunks(k).zip(parities) {
+            match self.code.decode(pack(chunk), parity) {
+                Decoded::Clean => report.clean_words += 1,
+                Decoded::Corrected { .. } => report.corrections += 1,
+                Decoded::Detected => report.detected_words += 1,
+            }
+        }
+        report
+    }
+}
+
+fn pack(chunk: &[bool]) -> u64 {
+    chunk
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+fn unpack(word: u64, chunk: &mut [bool]) {
+    for (i, b) in chunk.iter_mut().enumerate() {
+        *b = (word >> i) & 1 == 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hamming;
+
+    fn pattern(len: usize) -> Vec<bool> {
+        (0..len).map(|i| (i * 31 + 7) % 3 == 0).collect()
+    }
+
+    #[test]
+    fn roundtrip_without_errors_is_clean() {
+        for code in Hamming::paper_family() {
+            let codec = SequenceCodec::new(Box::new(code));
+            let bits = pattern(1000);
+            let parities = codec.protect(&bits);
+            let mut copy = bits.clone();
+            let rep = codec.recover(&mut copy, &parities);
+            assert_eq!(copy, bits);
+            assert!(!rep.any_error());
+            assert_eq!(rep.clean_words, codec.word_count(1000));
+        }
+    }
+
+    #[test]
+    fn single_error_anywhere_is_repaired() {
+        let codec = SequenceCodec::new(Box::new(Hamming::h7_4()));
+        let bits = pattern(100);
+        let parities = codec.protect(&bits);
+        for i in 0..100 {
+            let mut corrupted = bits.clone();
+            corrupted[i] = !corrupted[i];
+            let rep = codec.recover(&mut corrupted, &parities);
+            assert_eq!(corrupted, bits, "flip at {i}");
+            assert_eq!(rep.corrections, 1);
+        }
+    }
+
+    #[test]
+    fn errors_in_different_words_all_repaired() {
+        let codec = SequenceCodec::new(Box::new(Hamming::h15_11()));
+        let bits = pattern(110); // 10 words of 11 bits
+        let parities = codec.protect(&bits);
+        let mut corrupted = bits.clone();
+        for w in 0..10 {
+            corrupted[w * 11 + (w % 11)] ^= true;
+        }
+        let rep = codec.recover(&mut corrupted, &parities);
+        assert_eq!(corrupted, bits);
+        assert_eq!(rep.corrections, 10);
+    }
+
+    #[test]
+    fn two_errors_in_same_word_are_not_repaired() {
+        let codec = SequenceCodec::new(Box::new(Hamming::h7_4()));
+        let bits = pattern(28);
+        let parities = codec.protect(&bits);
+        let mut corrupted = bits.clone();
+        corrupted[0] = !corrupted[0];
+        corrupted[2] = !corrupted[2];
+        let rep = codec.recover(&mut corrupted, &parities);
+        assert_ne!(corrupted, bits, "double error must not silently heal");
+        assert!(rep.any_error(), "but it must be noticed");
+    }
+
+    #[test]
+    fn parity_storage_matches_redundancy() {
+        // 1040 FFs protected by (7,4): 260 words x 3 = 780 parity bits —
+        // the dominant term of Table II's ~70-87% area overhead.
+        let codec = SequenceCodec::new(Box::new(Hamming::h7_4()));
+        assert_eq!(codec.parity_storage_bits(1040), 780);
+        let codec = SequenceCodec::new(Box::new(Hamming::h63_57()));
+        assert_eq!(codec.parity_storage_bits(1040), 19 * 6);
+    }
+
+    #[test]
+    fn check_reports_without_mutating() {
+        let codec = SequenceCodec::new(Box::new(Hamming::h7_4()));
+        let bits = pattern(50);
+        let parities = codec.protect(&bits);
+        let mut corrupted = bits.clone();
+        corrupted[3] = !corrupted[3];
+        let snapshot = corrupted.clone();
+        let rep = codec.check(&corrupted, &parities);
+        assert_eq!(corrupted, snapshot);
+        assert_eq!(rep.corrections, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "parity store")]
+    fn mismatched_parity_length_panics() {
+        let codec = SequenceCodec::new(Box::new(Hamming::h7_4()));
+        let mut bits = pattern(28);
+        codec.recover(&mut bits, &[0u64; 3]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the code substrate.
+
+use proptest::prelude::*;
+use scanguard_codes::{BlockCode, Crc, Decoded, ExtendedHamming, Hamming, SequenceCodec};
+
+fn any_hamming() -> impl Strategy<Value = Hamming> {
+    (2u32..=6).prop_map(|m| Hamming::new(m).expect("orders 2..=6 are supported"))
+}
+
+proptest! {
+    #[test]
+    fn hamming_roundtrip_is_clean(code in any_hamming(), raw in any::<u64>()) {
+        let data = raw & ((1u64 << code.k()) - 1);
+        let parity = code.encode(data);
+        prop_assert_eq!(code.decode(data, parity), Decoded::Clean);
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_data_error(
+        code in any_hamming(),
+        raw in any::<u64>(),
+        bit_sel in any::<u32>(),
+    ) {
+        let data = raw & ((1u64 << code.k()) - 1);
+        let bit = bit_sel % code.k();
+        let parity = code.encode(data);
+        let (fixed, outcome) = code.correct(data ^ (1u64 << bit), parity);
+        prop_assert_eq!(fixed, data);
+        prop_assert_eq!(outcome, Decoded::Corrected { bit });
+    }
+
+    #[test]
+    fn hamming_never_reports_clean_on_double_error(
+        code in any_hamming(),
+        raw in any::<u64>(),
+        b1 in any::<u32>(),
+        b2 in any::<u32>(),
+    ) {
+        let k = code.k();
+        let (b1, b2) = (b1 % k, b2 % k);
+        prop_assume!(b1 != b2);
+        let data = raw & ((1u64 << k) - 1);
+        let parity = code.encode(data);
+        let corrupt = data ^ (1u64 << b1) ^ (1u64 << b2);
+        prop_assert_ne!(code.decode(corrupt, parity), Decoded::Clean);
+    }
+
+    #[test]
+    fn extended_hamming_flags_every_double_error_as_detected(
+        code in any_hamming(),
+        raw in any::<u64>(),
+        b1 in any::<u32>(),
+        b2 in any::<u32>(),
+    ) {
+        let k = code.k();
+        let (b1, b2) = (b1 % k, b2 % k);
+        prop_assume!(b1 != b2);
+        let data = raw & ((1u64 << k) - 1);
+        let ext = ExtendedHamming::new(code);
+        let parity = ext.encode(data);
+        let corrupt = data ^ (1u64 << b1) ^ (1u64 << b2);
+        prop_assert_eq!(ext.decode(corrupt, parity), Decoded::Detected);
+    }
+
+    #[test]
+    fn crc_detects_any_single_flip(
+        bits in proptest::collection::vec(any::<bool>(), 1..512),
+        idx in any::<usize>(),
+    ) {
+        let crc = Crc::crc16_ccitt();
+        let sig = crc.checksum_bits(&bits);
+        let mut flipped = bits.clone();
+        let i = idx % bits.len();
+        flipped[i] = !flipped[i];
+        prop_assert_ne!(crc.checksum_bits(&flipped), sig);
+    }
+
+    #[test]
+    fn crc_detects_any_burst_up_to_width(
+        bits in proptest::collection::vec(any::<bool>(), 64..256),
+        start in any::<usize>(),
+        pattern in 1u16..,
+    ) {
+        let crc = Crc::crc16_ccitt();
+        let sig = crc.checksum_bits(&bits);
+        let len = bits.len();
+        let start = start % (len - 16);
+        let mut flipped = bits.clone();
+        for i in 0..16 {
+            if (pattern >> i) & 1 == 1 {
+                flipped[start + i] = !flipped[start + i];
+            }
+        }
+        prop_assert_ne!(crc.checksum_bits(&flipped), sig);
+    }
+
+    #[test]
+    fn sequence_codec_repairs_scattered_singles(
+        seed in any::<u64>(),
+        len in 64usize..512,
+    ) {
+        // One error per word at most: all must be repaired.
+        let codec = SequenceCodec::new(Box::new(Hamming::h7_4()));
+        let bits: Vec<bool> = (0..len).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let parities = codec.protect(&bits);
+        let mut corrupted = bits.clone();
+        let k = 4;
+        let mut injected = 0;
+        for w in 0..(len / k) {
+            if w % 3 == 0 {
+                let bit = w * k + (seed as usize + w) % k;
+                corrupted[bit] = !corrupted[bit];
+                injected += 1;
+            }
+        }
+        let rep = codec.recover(&mut corrupted, &parities);
+        prop_assert_eq!(&corrupted, &bits);
+        prop_assert_eq!(rep.corrections, injected);
+    }
+
+    #[test]
+    fn parity_store_sizes_scale_with_redundancy(len in 100usize..4000) {
+        let small = SequenceCodec::new(Box::new(Hamming::h63_57()));
+        let large = SequenceCodec::new(Box::new(Hamming::h7_4()));
+        prop_assert!(large.parity_storage_bits(len) >= small.parity_storage_bits(len));
+    }
+}

@@ -1,0 +1,165 @@
+//! Configuration of the protection flow — the "configuration file" input
+//! of the paper's Fig. 4 synthesis flow.
+
+use scanguard_codes::{BlockCode, Crc, EvenParity, ExtendedHamming, Hamming};
+
+/// Which detection/correction code the state monitoring blocks implement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CodeChoice {
+    /// CRC-16/CCITT detection: a single monitor block whose unrolled
+    /// update network takes one bit from *every* chain per cycle (a CRC
+    /// engine's input width is free, unlike a Hamming block's).
+    Crc16,
+    /// Hamming single-error correction with `m` parity bits; each
+    /// monitor block consumes `k = 2^m - 1 - m` chains.
+    Hamming {
+        /// Parity bits (3 => (7,4) ... 6 => (63,57)).
+        m: u32,
+    },
+    /// Extended Hamming (SEC-DED): corrects singles, *detects* all
+    /// doubles instead of miscorrecting them.
+    ExtendedHamming {
+        /// Parity bits of the base code.
+        m: u32,
+    },
+    /// Even parity detection, one monitor block per `group_width`
+    /// chains: the cheapest detector (catches odd-weight upsets only);
+    /// its parity store grows with the state size where CRC's is flat.
+    Parity {
+        /// Chains per monitor block.
+        group_width: usize,
+    },
+}
+
+impl CodeChoice {
+    /// The paper's Table I configuration.
+    #[must_use]
+    pub fn crc16() -> Self {
+        CodeChoice::Crc16
+    }
+
+    /// The paper's Table II configuration: Hamming(7,4).
+    #[must_use]
+    pub fn hamming7_4() -> Self {
+        CodeChoice::Hamming { m: 3 }
+    }
+
+    /// Chains consumed per monitor block (the divisibility constraint
+    /// the synthesizer enforces). A CRC block spans any number of
+    /// chains, so it imposes none (returns 1).
+    #[must_use]
+    pub fn group_width(&self) -> usize {
+        match *self {
+            CodeChoice::Crc16 => 1,
+            CodeChoice::Parity { group_width } => group_width,
+            CodeChoice::Hamming { m } | CodeChoice::ExtendedHamming { m } => {
+                ((1usize << m) - 1) - m as usize
+            }
+        }
+    }
+
+    /// `true` when the monitor's error output is a per-cycle (streaming)
+    /// comparison, valid on every decode cycle — Hamming syndromes and
+    /// parity mismatches. CRC compares a signature once, at the final
+    /// check.
+    #[must_use]
+    pub fn streaming_check(&self) -> bool {
+        !matches!(self, CodeChoice::Crc16)
+    }
+
+    /// `true` for correcting codes.
+    #[must_use]
+    pub fn corrects(&self) -> bool {
+        matches!(
+            self,
+            CodeChoice::Hamming { .. } | CodeChoice::ExtendedHamming { .. }
+        )
+    }
+
+    /// Instantiates the block code behind a correcting choice, or `None`
+    /// for CRC (a stream code, not a block code).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodeError`](scanguard_codes::CodeError) for
+    /// unsupported Hamming orders.
+    pub fn block_code(&self) -> Result<Option<Box<dyn BlockCode>>, scanguard_codes::CodeError> {
+        Ok(match *self {
+            CodeChoice::Crc16 => None,
+            CodeChoice::Parity { group_width } => {
+                Some(Box::new(EvenParity::new(group_width as u32)))
+            }
+            CodeChoice::Hamming { m } => Some(Box::new(Hamming::new(m)?)),
+            CodeChoice::ExtendedHamming { m } => {
+                Some(Box::new(ExtendedHamming::new(Hamming::new(m)?)))
+            }
+        })
+    }
+
+    /// The CRC spec behind a detection choice, or `None`.
+    #[must_use]
+    pub fn crc(&self) -> Option<Crc> {
+        match self {
+            CodeChoice::Crc16 => Some(Crc::crc16_ccitt()),
+            _ => None,
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match *self {
+            CodeChoice::Crc16 => "CRC-16".to_owned(),
+            CodeChoice::Hamming { m } => {
+                let n = (1u32 << m) - 1;
+                format!("Hamming({},{})", n, n - m)
+            }
+            CodeChoice::ExtendedHamming { m } => {
+                let n = (1u32 << m) - 1;
+                format!("ExtHamming({},{})", n + 1, n - m)
+            }
+            CodeChoice::Parity { group_width } => {
+                format!("Parity({},{group_width})", group_width + 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_widths_match_code_data_widths() {
+        assert_eq!(CodeChoice::crc16().group_width(), 1);
+        assert_eq!(CodeChoice::hamming7_4().group_width(), 4);
+        assert_eq!(CodeChoice::Hamming { m: 4 }.group_width(), 11);
+        assert_eq!(CodeChoice::Hamming { m: 6 }.group_width(), 57);
+        assert_eq!(CodeChoice::ExtendedHamming { m: 3 }.group_width(), 4);
+    }
+
+    #[test]
+    fn names_match_tables() {
+        assert_eq!(CodeChoice::crc16().name(), "CRC-16");
+        assert_eq!(CodeChoice::hamming7_4().name(), "Hamming(7,4)");
+        assert_eq!(CodeChoice::Hamming { m: 6 }.name(), "Hamming(63,57)");
+        assert_eq!(
+            CodeChoice::ExtendedHamming { m: 3 }.name(),
+            "ExtHamming(8,4)"
+        );
+    }
+
+    #[test]
+    fn classification() {
+        assert!(!CodeChoice::crc16().corrects());
+        assert!(!CodeChoice::Parity { group_width: 4 }.corrects());
+        assert!(CodeChoice::hamming7_4().corrects());
+        assert!(CodeChoice::hamming7_4().streaming_check());
+        assert!(CodeChoice::Parity { group_width: 4 }.streaming_check());
+        assert!(!CodeChoice::crc16().streaming_check());
+        assert!(CodeChoice::crc16().crc().is_some());
+        assert!(CodeChoice::hamming7_4().crc().is_none());
+        assert!(CodeChoice::hamming7_4().block_code().unwrap().is_some());
+        assert!(CodeChoice::crc16().block_code().unwrap().is_none());
+    }
+}

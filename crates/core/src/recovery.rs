@@ -1,0 +1,224 @@
+//! Software state recovery — the alternative the paper's Sec. V reserves
+//! for when Hamming's area overhead is unacceptable: *"the approach of
+//! CRC error detection with software recovery may be considered."*
+//!
+//! The model here is the realistic embedded flow: before sleep, software
+//! dumps the architectural state through the scan chains into memory
+//! (a *checkpoint*); after wake-up, if the CRC monitor flags corruption,
+//! software reloads the checkpoint through the manufacturing-test scan
+//! interface. Detection hardware stays tiny; the price is recovery
+//! latency — `(W / T) x l` reload cycles through `T` test pins instead
+//! of the monitor's in-stream `l`-cycle correction — which this module
+//! measures rather than asserts.
+
+use crate::{MonPhase, ProtectedRuntime};
+use scanguard_netlist::Logic;
+use scanguard_sim::EnergyWindow;
+
+/// A scan-captured state checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// `state[chain][depth]`, depth 0 nearest scan-in.
+    state: Vec<Vec<Logic>>,
+    /// Cycles spent capturing.
+    pub dump_cycles: u64,
+    /// Energy spent capturing.
+    pub dump_energy: EnergyWindow,
+}
+
+impl Checkpoint {
+    /// The captured state.
+    #[must_use]
+    pub fn state(&self) -> &[Vec<Logic>] {
+        &self.state
+    }
+}
+
+/// Result of a software reload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestoreReport {
+    /// Scan-shift cycles the reload took.
+    pub cycles: u64,
+    /// Energy of the reload.
+    pub energy: EnergyWindow,
+}
+
+/// Captures a checkpoint by circulating the chains once and observing
+/// the scan-outs — exactly what checkpointing firmware does through a
+/// scan dump, and losslessly: after `l` cycles the state is back where
+/// it started.
+///
+/// # Panics
+///
+/// Panics if called outside the controller's `Active` phase.
+pub fn checkpoint(rt: &mut ProtectedRuntime<'_>) -> Checkpoint {
+    assert_eq!(rt.phase(), MonPhase::Active, "checkpoint from Active only");
+    let w = rt.chains().width();
+    let l = rt.chains().max_len();
+    let se = rt.chains().se;
+    let so_nets: Vec<_> = rt.chains().chains.iter().map(|c| c.so).collect();
+    let sim = rt.sim_mut();
+    let _ = sim.take_energy();
+    sim.set_net(se, Logic::One);
+    // Observed[t][k] is chain k's bit at depth l-1-t.
+    let mut state = vec![vec![Logic::X; l]; w];
+    for t in 0..l {
+        sim.settle();
+        for (k, &so) in so_nets.iter().enumerate() {
+            state[k][l - 1 - t] = sim.value(so);
+            // Feed the observed bit straight back (software dump taps the
+            // existing monitor feedback path, which circulates anyway).
+        }
+        sim.step();
+    }
+    sim.set_net(se, Logic::Zero);
+    let dump_energy = sim.take_energy();
+    Checkpoint {
+        state,
+        dump_cycles: l as u64,
+        dump_energy,
+    }
+}
+
+/// Reloads a checkpoint through the Fig. 5(b) manufacturing-test
+/// interface: `T` test pins drive `W / T` concatenated chains for
+/// `(W / T) x l` cycles.
+///
+/// # Panics
+///
+/// Panics if the design was built without a test-mode configuration, or
+/// if the checkpoint shape does not match the chains.
+pub fn restore(rt: &mut ProtectedRuntime<'_>, checkpoint: &Checkpoint) -> RestoreReport {
+    let tm = rt
+        .design()
+        .test_mode
+        .clone()
+        .expect("software recovery reloads through the test interface; build with test_width");
+    let w = rt.chains().width();
+    let l = rt.chains().max_len();
+    assert_eq!(checkpoint.state.len(), w, "checkpoint shape mismatch");
+    let t_width = tm.test_width;
+    let per_group = w / t_width;
+    let total = per_group * l;
+    let se = rt.chains().se;
+
+    // Build each test pin's bit stream: the bit shifted at cycle i ends
+    // at concatenated position total-1-i, which is chain g + (p/l)*T at
+    // depth p % l.
+    let mut streams = vec![Vec::with_capacity(total); t_width];
+    for (g, stream) in streams.iter_mut().enumerate() {
+        for i in 0..total {
+            let p = total - 1 - i;
+            let chain = g + (p / l) * t_width;
+            let depth = p % l;
+            stream.push(checkpoint.state[chain][depth]);
+        }
+    }
+
+    let sim = rt.sim_mut();
+    let _ = sim.take_energy();
+    sim.set_net(se, Logic::One);
+    tm.set_test_mode(sim, true);
+    for i in 0..total {
+        let ins: Vec<Logic> = (0..t_width).map(|g| streams[g][i]).collect();
+        tm.shift(sim, &ins);
+    }
+    tm.set_test_mode(sim, false);
+    sim.set_net(se, Logic::Zero);
+    let energy = sim.take_energy();
+    RestoreReport {
+        cycles: total as u64,
+        energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CodeChoice, Synthesizer};
+    use scanguard_netlist::NetlistBuilder;
+
+    fn design(ffs: usize, chains: usize, tw: usize) -> crate::ProtectedDesign {
+        let mut b = NetlistBuilder::new("regs");
+        for i in 0..ffs {
+            let d = b.input(&format!("d[{i}]"));
+            let (q, _) = b.dff(&format!("r{i}"), d);
+            b.output(&format!("q[{i}]"), q);
+        }
+        Synthesizer::new(b.finish().unwrap())
+            .chains(chains)
+            .code(CodeChoice::crc16())
+            .test_width(tw)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn checkpoint_captures_state_losslessly() {
+        let d = design(16, 4, 2);
+        let mut rt = d.runtime();
+        rt.load_random_state(77);
+        let before = d.chains.snapshot(rt.sim());
+        let cp = checkpoint(&mut rt);
+        assert_eq!(cp.state(), before.as_slice(), "dump must read the state");
+        assert_eq!(d.chains.snapshot(rt.sim()), before, "dump must not disturb it");
+        assert_eq!(cp.dump_cycles, 4);
+        assert!(cp.dump_energy.dynamic_pj > 0.0);
+    }
+
+    #[test]
+    fn restore_rewrites_the_full_state() {
+        let d = design(16, 4, 2);
+        let mut rt = d.runtime();
+        rt.load_random_state(78);
+        let cp = checkpoint(&mut rt);
+        // Corrupt everything.
+        rt.load_random_state(1234);
+        assert_ne!(d.chains.snapshot(rt.sim()), cp.state());
+        let rep = restore(&mut rt, &cp);
+        assert_eq!(d.chains.snapshot(rt.sim()), cp.state(), "state reloaded");
+        // (W/T) x l = 2 x 4 cycles through 2 pins.
+        assert_eq!(rep.cycles, 8);
+    }
+
+    #[test]
+    fn software_recovery_after_detected_upset() {
+        // The full Sec. V alternative: checkpoint, sleep, upset, CRC
+        // detects, software reloads.
+        let d = design(16, 4, 4);
+        let mut rt = d.runtime();
+        rt.load_random_state(79);
+        let cp = checkpoint(&mut rt);
+        let rep = rt.sleep_wake(|sim, chains| {
+            sim.flip_retention(chains.chains[2].cells[1]);
+            sim.flip_retention(chains.chains[3].cells[1]);
+            2
+        });
+        assert!(rep.error_observed, "CRC must flag the corruption");
+        assert!(!rep.state_intact(), "CRC cannot correct");
+        let restore_rep = restore(&mut rt, &cp);
+        assert_eq!(d.chains.snapshot(rt.sim()), cp.state(), "software healed it");
+        // Software recovery latency exceeds the monitor's l-cycle pass.
+        assert!(restore_rep.cycles >= d.chain_len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "test_width")]
+    fn restore_requires_test_interface() {
+        let mut b = NetlistBuilder::new("regs");
+        for i in 0..8 {
+            let dd = b.input(&format!("d[{i}]"));
+            let (q, _) = b.dff(&format!("r{i}"), dd);
+            b.output(&format!("q[{i}]"), q);
+        }
+        let d = Synthesizer::new(b.finish().unwrap())
+            .chains(4)
+            .code(CodeChoice::crc16())
+            .build()
+            .unwrap();
+        let mut rt = d.runtime();
+        rt.load_random_state(1);
+        let cp = checkpoint(&mut rt);
+        let _ = restore(&mut rt, &cp);
+    }
+}

@@ -1,0 +1,217 @@
+//! Small arithmetic and selection building blocks used by the circuit
+//! generators: ripple incrementer/decrementer, equality decoders and mux
+//! trees.
+
+use scanguard_netlist::{NetId, NetlistBuilder};
+
+/// Builds `value + 1` over an LSB-first bus; the carry out is dropped
+/// (wrap-around), which is exactly what circular FIFO pointers need.
+pub fn incrementer(b: &mut NetlistBuilder, bits: &[NetId]) -> Vec<NetId> {
+    let mut out = Vec::with_capacity(bits.len());
+    let mut carry = b.tie_hi();
+    for &bit in bits {
+        out.push(b.xor2(bit, carry));
+        carry = b.and2(bit, carry);
+    }
+    out
+}
+
+/// Builds `value - 1` over an LSB-first bus (wrap-around): borrow
+/// propagates through zero bits.
+pub fn decrementer(b: &mut NetlistBuilder, bits: &[NetId]) -> Vec<NetId> {
+    let mut out = Vec::with_capacity(bits.len());
+    let mut borrow = b.tie_hi();
+    for &bit in bits {
+        out.push(b.xor2(bit, borrow));
+        let nbit = b.not(bit);
+        borrow = b.and2(nbit, borrow);
+    }
+    out
+}
+
+/// Builds the one-hot decode of `bits == index`: an AND over each bit or
+/// its complement.
+pub fn equals_const(b: &mut NetlistBuilder, bits: &[NetId], index: usize) -> NetId {
+    let literals: Vec<NetId> = bits
+        .iter()
+        .enumerate()
+        .map(|(i, &bit)| {
+            if (index >> i) & 1 == 1 {
+                bit
+            } else {
+                b.not(bit)
+            }
+        })
+        .collect();
+    b.and_tree(&literals)
+}
+
+/// Builds a bus-wide 2:1 mux: `sel ? when_one : when_zero`, element-wise.
+///
+/// # Panics
+///
+/// Panics if the two buses differ in width.
+pub fn mux_bus(
+    b: &mut NetlistBuilder,
+    sel: NetId,
+    when_zero: &[NetId],
+    when_one: &[NetId],
+) -> Vec<NetId> {
+    assert_eq!(when_zero.len(), when_one.len(), "bus widths must match");
+    when_zero
+        .iter()
+        .zip(when_one)
+        .map(|(&a, &c)| b.mux2(sel, a, c))
+        .collect()
+}
+
+/// Builds an N:1 mux tree over `inputs`, selected by an LSB-first select
+/// bus. `inputs.len()` must equal `2^sel.len()`.
+///
+/// # Panics
+///
+/// Panics if the input count is not `2^sel.len()`.
+pub fn mux_tree(b: &mut NetlistBuilder, sel: &[NetId], inputs: &[NetId]) -> NetId {
+    assert_eq!(
+        inputs.len(),
+        1usize << sel.len(),
+        "mux tree needs 2^sel inputs"
+    );
+    let mut level: Vec<NetId> = inputs.to_vec();
+    for &s in sel {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks_exact(2) {
+            next.push(b.mux2(s, pair[0], pair[1]));
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Builds "all bits zero" detection (a NOR reduction).
+pub fn is_zero(b: &mut NetlistBuilder, bits: &[NetId]) -> NetId {
+    let any = b.or_tree(bits);
+    b.not(any)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanguard_netlist::{CellLibrary, Logic, Netlist};
+    use scanguard_sim::Simulator;
+
+    /// Builds a combinational test harness exposing `out[..]` for a
+    /// closure-built block over `n` inputs named `in[..]`.
+    fn harness(
+        n: usize,
+        build: impl FnOnce(&mut NetlistBuilder, &[NetId]) -> Vec<NetId>,
+    ) -> Netlist {
+        let mut b = NetlistBuilder::new("harness");
+        let ins = b.input_bus("in", n);
+        let outs = build(&mut b, &ins);
+        b.output_bus("out", &outs);
+        b.finish().unwrap()
+    }
+
+    fn eval(nl: &Netlist, input: u64, n_in: usize, n_out: usize) -> u64 {
+        let lib = CellLibrary::st120nm();
+        let mut sim = Simulator::new(nl, &lib);
+        for i in 0..n_in {
+            sim.set_port(&format!("in[{i}]"), Logic::from((input >> i) & 1 == 1))
+                .unwrap();
+        }
+        sim.settle();
+        let mut out = 0u64;
+        for i in 0..n_out {
+            if sim.port_value(&format!("out[{i}]")).unwrap() == Logic::One {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn incrementer_wraps_correctly() {
+        let nl = harness(5, incrementer);
+        for v in 0u64..32 {
+            assert_eq!(eval(&nl, v, 5, 5), (v + 1) % 32, "inc({v})");
+        }
+    }
+
+    #[test]
+    fn decrementer_wraps_correctly() {
+        let nl = harness(5, decrementer);
+        for v in 0u64..32 {
+            assert_eq!(eval(&nl, v, 5, 5), (v + 31) % 32, "dec({v})");
+        }
+    }
+
+    #[test]
+    fn equals_const_is_one_hot() {
+        let nl = harness(4, |b, ins| vec![equals_const(b, ins, 9)]);
+        for v in 0u64..16 {
+            assert_eq!(eval(&nl, v, 4, 1), u64::from(v == 9));
+        }
+    }
+
+    #[test]
+    fn is_zero_detects_zero_only() {
+        let nl = harness(6, |b, ins| vec![is_zero(b, ins)]);
+        for v in [0u64, 1, 5, 32, 63] {
+            assert_eq!(eval(&nl, v, 6, 1), u64::from(v == 0));
+        }
+    }
+
+    #[test]
+    fn mux_tree_selects_each_input() {
+        // 8 inputs, 3 select bits: input i = bit i of the input word.
+        let mut b = NetlistBuilder::new("mux8");
+        let data = b.input_bus("in", 8);
+        let sel = b.input_bus("sel", 3);
+        let y = mux_tree(&mut b, &sel, &data);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let lib = CellLibrary::st120nm();
+        for s in 0..8u64 {
+            let mut sim = Simulator::new(&nl, &lib);
+            let word = 0b1011_0110u64;
+            for i in 0..8 {
+                sim.set_port(&format!("in[{i}]"), Logic::from((word >> i) & 1 == 1))
+                    .unwrap();
+            }
+            for i in 0..3 {
+                sim.set_port(&format!("sel[{i}]"), Logic::from((s >> i) & 1 == 1))
+                    .unwrap();
+            }
+            sim.settle();
+            assert_eq!(
+                sim.port_value("y").unwrap(),
+                Logic::from((word >> s) & 1 == 1),
+                "sel={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn mux_bus_switches_whole_bus() {
+        let mut b = NetlistBuilder::new("muxbus");
+        let a = b.input_bus("a", 3);
+        let c = b.input_bus("c", 3);
+        let sel = b.input("sel");
+        let y = mux_bus(&mut b, sel, &a, &c);
+        b.output_bus("y", &y);
+        let nl = b.finish().unwrap();
+        let lib = CellLibrary::st120nm();
+        let mut sim = Simulator::new(&nl, &lib);
+        for i in 0..3 {
+            sim.set_port(&format!("a[{i}]"), Logic::One).unwrap();
+            sim.set_port(&format!("c[{i}]"), Logic::Zero).unwrap();
+        }
+        sim.set_port("sel", Logic::Zero).unwrap();
+        sim.settle();
+        assert_eq!(sim.port_value("y[1]").unwrap(), Logic::One);
+        sim.set_port("sel", Logic::One).unwrap();
+        sim.settle();
+        assert_eq!(sim.port_value("y[1]").unwrap(), Logic::Zero);
+    }
+}

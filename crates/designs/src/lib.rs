@@ -1,0 +1,39 @@
+//! # scanguard-designs
+//!
+//! Benchmark circuit generators for the `scanguard` reproduction of
+//! *"Scan Based Methodology for Reliable State Retention Power Gating
+//! Designs"* (Yang et al., DATE 2010).
+//!
+//! The centrepiece is [`Fifo`], the paper's 32x32-bit case-study circuit
+//! (1040 flip-flops, "high density of flip-flops and no error masking"),
+//! together with its golden software reference [`FifoModel`]. Additional
+//! dense-state designs — [`shift_register`], [`counter_bank`],
+//! [`register_file`], [`lfsr_netlist`] — exercise the protection flow on
+//! other state shapes, and the [`arith`] module exposes the shared
+//! building blocks (incrementers, decoders, mux trees).
+//!
+//! # Examples
+//!
+//! ```
+//! use scanguard_designs::Fifo;
+//! use scanguard_netlist::{AreaReport, CellLibrary};
+//!
+//! let fifo = Fifo::generate(32, 32);
+//! let report = AreaReport::of(&fifo.netlist, &CellLibrary::st120nm());
+//! assert_eq!(report.ff_count, 1040);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+// Bit-indexed loops are the clearer idiom for hardware generation.
+#![allow(clippy::needless_range_loop)]
+
+pub mod arith;
+mod datapath;
+mod fifo;
+mod misc;
+
+pub use datapath::{Datapath, DatapathModel};
+pub use fifo::{Fifo, FifoModel};
+pub use misc::{counter_bank, lfsr_netlist, register_file, shift_register};

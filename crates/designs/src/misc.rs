@@ -1,0 +1,298 @@
+//! Additional benchmark circuits: dense-state designs for exercising the
+//! protection flow beyond the paper's FIFO case study.
+
+use crate::arith::{incrementer, mux_bus};
+use scanguard_netlist::{CellId, NetId, Netlist, NetlistBuilder};
+
+/// Generates an `n`-stage shift register: `si` in, `so` out, all stages
+/// exposed as `q[..]`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_designs::shift_register;
+///
+/// let nl = shift_register(16);
+/// assert_eq!(nl.ff_count(), 16);
+/// ```
+#[must_use]
+pub fn shift_register(n: usize) -> Netlist {
+    assert!(n > 0, "need at least one stage");
+    let mut b = NetlistBuilder::new(&format!("shift{n}"));
+    let si = b.input("si");
+    let mut prev = si;
+    let mut qs = Vec::with_capacity(n);
+    for i in 0..n {
+        let (q, _) = b.dff(&format!("s{i}"), prev);
+        qs.push(q);
+        prev = q;
+    }
+    b.output("so", prev);
+    b.output_bus("q", &qs);
+    b.finish().expect("shift register is well-formed")
+}
+
+/// Generates a bank of `count` independent `width`-bit up-counters with a
+/// shared `en` input and `rst`. Counter `k`'s bits appear as
+/// `cnt{k}[0..width]`.
+///
+/// # Panics
+///
+/// Panics if `count` or `width` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_designs::counter_bank;
+///
+/// let nl = counter_bank(4, 8);
+/// assert_eq!(nl.ff_count(), 32);
+/// ```
+#[must_use]
+pub fn counter_bank(count: usize, width: usize) -> Netlist {
+    assert!(count > 0 && width > 0, "need at least one counter bit");
+    let mut b = NetlistBuilder::new(&format!("counters{count}x{width}"));
+    let rst = b.input("rst");
+    let en = b.input("en");
+    let zero = b.tie_lo();
+    for k in 0..count {
+        let mut ds = Vec::with_capacity(width);
+        let mut qs = Vec::with_capacity(width);
+        for i in 0..width {
+            let d = b.net(&format!("c{k}_d{i}"));
+            let (q, _) = b.dff(&format!("c{k}_{i}"), d);
+            ds.push(d);
+            qs.push(q);
+        }
+        let inc = incrementer(&mut b, &qs);
+        let stepped = mux_bus(&mut b, en, &qs, &inc);
+        let zeros = vec![zero; width];
+        let next = mux_bus(&mut b, rst, &stepped, &zeros);
+        for (&d, &n) in ds.iter().zip(&next) {
+            b.connect(d, n);
+        }
+        b.output_bus(&format!("cnt{k}"), &qs);
+    }
+    b.finish().expect("counter bank is well-formed")
+}
+
+/// Generates a `words x width` register file with one write port
+/// (`waddr`, `wdata`, `we`) and combinational read (`raddr` -> `rdata`).
+///
+/// # Panics
+///
+/// Panics unless `words` is a power of two `>= 2` and `width >= 1`.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_designs::register_file;
+///
+/// let nl = register_file(8, 16);
+/// assert_eq!(nl.ff_count(), 128);
+/// ```
+#[must_use]
+pub fn register_file(words: usize, width: usize) -> Netlist {
+    assert!(words.is_power_of_two() && words >= 2, "words must be a power of two >= 2");
+    assert!(width >= 1, "width must be at least 1");
+    let abits = words.trailing_zeros() as usize;
+    let mut b = NetlistBuilder::new(&format!("regfile{words}x{width}"));
+    let we = b.input("we");
+    let waddr = b.input_bus("waddr", abits);
+    let wdata = b.input_bus("wdata", width);
+    let raddr = b.input_bus("raddr", abits);
+    let mut rows: Vec<Vec<NetId>> = Vec::with_capacity(words);
+    for r in 0..words {
+        let sel = crate::arith::equals_const(&mut b, &waddr, r);
+        let row_we = b.and2(we, sel);
+        let mut qs = Vec::with_capacity(width);
+        for c in 0..width {
+            let d = b.net(&format!("rf{r}_{c}_d"));
+            let (q, _) = b.dff(&format!("rf{r}_{c}"), d);
+            let next = b.mux2(row_we, q, wdata[c]);
+            b.connect(d, next);
+            qs.push(q);
+        }
+        rows.push(qs);
+    }
+    let mut rdata = Vec::with_capacity(width);
+    for c in 0..width {
+        let column: Vec<NetId> = rows.iter().map(|row| row[c]).collect();
+        rdata.push(crate::arith::mux_tree(&mut b, &raddr, &column));
+    }
+    b.output_bus("rdata", &rdata);
+    b.finish().expect("register file is well-formed")
+}
+
+/// Generates a gate-level Galois LFSR of the given width and tap mask
+/// (bit `t-1` set for each polynomial exponent `t`), with `q[..]` state
+/// outputs and the serial output `so`.
+///
+/// Returns the netlist and the state flops (LSB first).
+///
+/// # Panics
+///
+/// Panics if `width` is zero or above 64.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_designs::lfsr_netlist;
+///
+/// let (nl, cells) = lfsr_netlist(8, 0xB8);
+/// assert_eq!(cells.len(), 8);
+/// assert_eq!(nl.ff_count(), 8);
+/// ```
+#[must_use]
+pub fn lfsr_netlist(width: usize, taps: u64) -> (Netlist, Vec<CellId>) {
+    assert!((1..=64).contains(&width), "width must be 1..=64");
+    let mut b = NetlistBuilder::new(&format!("lfsr{width}"));
+    let mut ds = Vec::with_capacity(width);
+    let mut qs = Vec::with_capacity(width);
+    let mut cells = Vec::with_capacity(width);
+    for i in 0..width {
+        let d = b.net(&format!("l_d{i}"));
+        let (q, cell) = b.dff(&format!("l{i}"), d);
+        ds.push(d);
+        qs.push(q);
+        cells.push(cell);
+    }
+    let out = qs[0];
+    // Galois right shift: bit i <- bit i+1, XOR'd with out where tapped.
+    let zero = b.tie_lo();
+    for i in 0..width {
+        let shifted = if i + 1 < width { qs[i + 1] } else { zero };
+        let next = if (taps >> i) & 1 == 1 {
+            b.xor2(shifted, out)
+        } else {
+            shifted
+        };
+        b.connect(ds[i], next);
+    }
+    b.output("so", out);
+    b.output_bus("q", &qs);
+    let nl = b.finish().expect("lfsr is well-formed");
+    (nl, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanguard_netlist::{CellLibrary, Logic};
+    use scanguard_sim::Simulator;
+
+    #[test]
+    fn shift_register_delays_by_n() {
+        let nl = shift_register(5);
+        let lib = CellLibrary::st120nm();
+        let mut sim = Simulator::new(&nl, &lib);
+        sim.set_port("si", Logic::One).unwrap();
+        sim.step();
+        sim.set_port("si", Logic::Zero).unwrap();
+        for _ in 0..4 {
+            assert_ne!(sim.port_value("so").unwrap(), Logic::One);
+            sim.step();
+        }
+        assert_eq!(sim.port_value("so").unwrap(), Logic::One);
+    }
+
+    #[test]
+    fn counters_count_when_enabled() {
+        let nl = counter_bank(2, 4);
+        let lib = CellLibrary::st120nm();
+        let mut sim = Simulator::new(&nl, &lib);
+        sim.set_port("rst", Logic::One).unwrap();
+        sim.set_port("en", Logic::Zero).unwrap();
+        sim.step();
+        sim.set_port("rst", Logic::Zero).unwrap();
+        sim.set_port("en", Logic::One).unwrap();
+        sim.step_n(5);
+        sim.settle();
+        let mut v = 0u64;
+        for i in 0..4 {
+            if sim.port_value(&format!("cnt1[{i}]")).unwrap() == Logic::One {
+                v |= 1 << i;
+            }
+        }
+        assert_eq!(v, 5);
+        sim.set_port("en", Logic::Zero).unwrap();
+        sim.step_n(3);
+        sim.settle();
+        let mut v2 = 0u64;
+        for i in 0..4 {
+            if sim.port_value(&format!("cnt1[{i}]")).unwrap() == Logic::One {
+                v2 |= 1 << i;
+            }
+        }
+        assert_eq!(v2, 5, "disabled counter holds");
+    }
+
+    #[test]
+    fn register_file_reads_what_it_wrote() {
+        let nl = register_file(4, 8);
+        let lib = CellLibrary::st120nm();
+        let mut sim = Simulator::new(&nl, &lib);
+        let write = |sim: &mut Simulator<'_>, addr: u64, data: u64| {
+            sim.set_port_bool("we", true).unwrap();
+            for i in 0..2 {
+                sim.set_port_bool(&format!("waddr[{i}]"), (addr >> i) & 1 == 1)
+                    .unwrap();
+            }
+            for i in 0..8 {
+                sim.set_port_bool(&format!("wdata[{i}]"), (data >> i) & 1 == 1)
+                    .unwrap();
+            }
+            sim.step();
+        };
+        let read = |sim: &mut Simulator<'_>, addr: u64| -> u64 {
+            for i in 0..2 {
+                sim.set_port_bool(&format!("raddr[{i}]"), (addr >> i) & 1 == 1)
+                    .unwrap();
+            }
+            sim.settle();
+            (0..8)
+                .filter(|i| sim.port_value(&format!("rdata[{i}]")).unwrap() == Logic::One)
+                .fold(0u64, |acc, i| acc | (1 << i))
+        };
+        write(&mut sim, 0, 0x11);
+        write(&mut sim, 3, 0xEE);
+        sim.set_port_bool("we", false).unwrap();
+        assert_eq!(read(&mut sim, 0), 0x11);
+        assert_eq!(read(&mut sim, 3), 0xEE);
+    }
+
+    #[test]
+    fn gate_level_lfsr_matches_software_lfsr() {
+        // Compare against the same Galois update in software.
+        let width = 8usize;
+        let taps = 0xB8u64;
+        let (nl, cells) = lfsr_netlist(width, taps);
+        let lib = CellLibrary::st120nm();
+        let mut sim = Simulator::new(&nl, &lib);
+        let seed = 0xA5u64;
+        for (i, &cell) in cells.iter().enumerate() {
+            sim.force_ff(cell, Logic::from((seed >> i) & 1 == 1));
+        }
+        let mut sw = seed;
+        for cycle in 0..100 {
+            // Software step.
+            let out = sw & 1 == 1;
+            sw >>= 1;
+            if out {
+                sw ^= taps;
+            }
+            sim.step();
+            let mut hw = 0u64;
+            for (i, &cell) in cells.iter().enumerate() {
+                if sim.ff_value(cell) == Logic::One {
+                    hw |= 1 << i;
+                }
+            }
+            assert_eq!(hw, sw, "divergence at cycle {cycle}");
+        }
+    }
+}

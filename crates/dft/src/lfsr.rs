@@ -1,0 +1,197 @@
+//! Linear-feedback shift registers.
+//!
+//! The paper's error injection circuit (Fig. 6) sets its row and column
+//! selectors "using linear feedback shift registers"; this module provides
+//! the same primitive, as a Fibonacci LFSR with maximal-length default
+//! taps for common widths.
+
+/// A Galois LFSR over `width <= 64` bits.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_dft::Lfsr;
+///
+/// let mut lfsr = Lfsr::maximal(16, 0xACE1);
+/// let a = lfsr.next_word();
+/// let b = lfsr.next_word();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Lfsr {
+    width: u32,
+    taps: u64,
+    state: u64,
+}
+
+impl Lfsr {
+    /// Builds an LFSR with explicit feedback taps: bit `tap - 1` is set
+    /// for every exponent `tap` of the feedback polynomial (the top term
+    /// `x^width` included; the `+1` term is implicit in the Galois
+    /// update).
+    ///
+    /// A zero seed is silently replaced by 1 (the all-zero state is the
+    /// LFSR's fixed point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    #[must_use]
+    pub fn new(width: u32, taps: u64, seed: u64) -> Self {
+        assert!((1..=64).contains(&width), "width must be 1..=64");
+        let mask = Self::mask_for(width);
+        let state = if seed & mask == 0 { 1 } else { seed & mask };
+        Lfsr {
+            width,
+            taps: taps & mask,
+            state,
+        }
+    }
+
+    /// Builds an LFSR with maximal-length taps for the given width
+    /// (selected widths between 3 and 32, from the standard primitive
+    /// polynomial tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupported widths.
+    #[must_use]
+    pub fn maximal(width: u32, seed: u64) -> Self {
+        // Taps as bit positions (0-based) per standard tables.
+        let taps: u64 = match width {
+            3 => (1 << 2) | (1 << 1),
+            4 => (1 << 3) | (1 << 2),
+            5 => (1 << 4) | (1 << 2),
+            6 => (1 << 5) | (1 << 4),
+            7 => (1 << 6) | (1 << 5),
+            8 => (1 << 7) | (1 << 5) | (1 << 4) | (1 << 3),
+            9 => (1 << 8) | (1 << 4),
+            10 => (1 << 9) | (1 << 6),
+            11 => (1 << 10) | (1 << 8),
+            12 => (1 << 11) | (1 << 10) | (1 << 9) | (1 << 3),
+            13 => (1 << 12) | (1 << 11) | (1 << 10) | (1 << 7),
+            14 => (1 << 13) | (1 << 12) | (1 << 11) | (1 << 1),
+            15 => (1 << 14) | (1 << 13),
+            16 => (1 << 15) | (1 << 14) | (1 << 12) | (1 << 3),
+            17 => (1 << 16) | (1 << 13),
+            18 => (1 << 17) | (1 << 10),
+            19 => (1 << 18) | (1 << 17) | (1 << 16) | (1 << 13),
+            20 => (1 << 19) | (1 << 16),
+            24 => (1 << 23) | (1 << 22) | (1 << 21) | (1 << 16),
+            31 => (1 << 30) | (1 << 27),
+            32 => (1 << 31) | (1 << 21) | (1 << 1) | 1,
+            _ => panic!("no maximal tap table for width {width}"),
+        };
+        Lfsr::new(width, taps, seed)
+    }
+
+    fn mask_for(width: u32) -> u64 {
+        if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// Current register contents.
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Register width.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Shifts once (Galois form: the out-bit toggles the tapped stages)
+    /// and returns the bit shifted out.
+    pub fn next_bit(&mut self) -> bool {
+        let out = self.state & 1 == 1;
+        self.state >>= 1;
+        if out {
+            self.state ^= self.taps;
+        }
+        out
+    }
+
+    /// Shifts `width` times and returns the full fresh register value.
+    pub fn next_word(&mut self) -> u64 {
+        for _ in 0..self.width {
+            self.next_bit();
+        }
+        self.state
+    }
+
+    /// Returns a pseudo-random value in `0..bound` by rejection-free
+    /// modulo (adequate for test-pattern generation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_word() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_repaired() {
+        let l = Lfsr::maximal(8, 0);
+        assert_ne!(l.state(), 0);
+    }
+
+    #[test]
+    fn maximal_lfsr_has_full_period() {
+        // Width 8: period must be 2^8 - 1 = 255.
+        let mut l = Lfsr::maximal(8, 1);
+        let start = l.state();
+        let mut period = 0u32;
+        loop {
+            l.next_bit();
+            period += 1;
+            if l.state() == start {
+                break;
+            }
+            assert!(period < 300, "period overflow");
+        }
+        assert_eq!(period, 255);
+    }
+
+    #[test]
+    fn never_reaches_zero_state() {
+        let mut l = Lfsr::maximal(5, 7);
+        for _ in 0..100 {
+            l.next_bit();
+            assert_ne!(l.state(), 0);
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut l = Lfsr::maximal(16, 0xBEEF);
+        for _ in 0..200 {
+            assert!(l.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn sequences_differ_by_seed() {
+        let mut a = Lfsr::maximal(16, 0x1234);
+        let mut b = Lfsr::maximal(16, 0x8765);
+        let wa: Vec<u64> = (0..4).map(|_| a.next_word()).collect();
+        let wb: Vec<u64> = (0..4).map(|_| b.next_word()).collect();
+        assert_ne!(wa, wb);
+    }
+
+    #[test]
+    #[should_panic(expected = "no maximal tap table")]
+    fn unsupported_width_panics() {
+        let _ = Lfsr::maximal(63, 1);
+    }
+}

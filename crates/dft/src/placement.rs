@@ -1,0 +1,256 @@
+//! Placement-aware scan stitching.
+//!
+//! The paper's Sec. III re-orders flip-flops into chains ("128 flip-flops
+//! are re-ordered into 16 scan chains"); on silicon the stitching order
+//! is chosen from placement to keep scan routing short. This module
+//! provides the placement model, chain-ordering heuristics, and the
+//! wirelength metric to judge them — and, because the rush-current upset
+//! model clusters *physically*, the chosen order also decides whether a
+//! physical burst lands in one codeword or spreads across many.
+
+use crate::{insert_scan_ordered, DftError, ScanChains, ScanConfig};
+use scanguard_netlist::{CellId, Netlist};
+use std::collections::HashMap;
+
+/// Physical flop locations in micrometres.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_dft::Placement;
+/// use scanguard_netlist::CellId;
+///
+/// let cells: Vec<CellId> = (0..6).map(CellId::from_index).collect();
+/// let p = Placement::grid(&cells, 3, 10.0);
+/// assert_eq!(p.get(cells[4]), Some((10.0, 10.0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Placement {
+    coords: HashMap<CellId, (f64, f64)>,
+}
+
+impl Placement {
+    /// An empty placement.
+    #[must_use]
+    pub fn new() -> Self {
+        Placement::default()
+    }
+
+    /// Places one cell.
+    pub fn place(&mut self, cell: CellId, x: f64, y: f64) {
+        self.coords.insert(cell, (x, y));
+    }
+
+    /// A cell's location.
+    #[must_use]
+    pub fn get(&self, cell: CellId) -> Option<(f64, f64)> {
+        self.coords.get(&cell).copied()
+    }
+
+    /// Lays the given cells out on a regular grid of `columns` columns
+    /// with the given pitch (row-major), the synthetic placement the
+    /// benchmark generators use for register arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is zero.
+    #[must_use]
+    pub fn grid(cells: &[CellId], columns: usize, pitch_um: f64) -> Self {
+        assert!(columns > 0, "need at least one column");
+        let mut p = Placement::new();
+        for (i, &cell) in cells.iter().enumerate() {
+            let x = (i % columns) as f64 * pitch_um;
+            let y = (i / columns) as f64 * pitch_um;
+            p.place(cell, x, y);
+        }
+        p
+    }
+
+    /// Total Manhattan length of the scan stitching under this placement
+    /// (flop-to-flop hops only; port stubs are not counted).
+    #[must_use]
+    pub fn scan_wirelength_um(&self, chains: &ScanChains) -> f64 {
+        let mut total = 0.0;
+        for chain in &chains.chains {
+            for pair in chain.cells.windows(2) {
+                if let (Some(a), Some(b)) = (self.get(pair[0]), self.get(pair[1])) {
+                    total += (a.0 - b.0).abs() + (a.1 - b.1).abs();
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Chain-ordering strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ChainOrder {
+    /// Netlist cell order (the default of
+    /// [`insert_scan`](crate::insert_scan)).
+    CellOrder,
+    /// Snake order: sort by row, alternate direction per row — the
+    /// classic low-wirelength scan route for array placements.
+    Snake,
+    /// Nearest-neighbour greedy tour from the lowest-left flop.
+    NearestNeighbour,
+}
+
+/// Orders the flip-flops per `order`/`placement` and runs scan insertion
+/// so consecutive chain positions are physical neighbours. Chains are
+/// cut from the tour in balanced contiguous spans, so each chain
+/// occupies a compact region.
+///
+/// # Errors
+///
+/// Propagates [`insert_scan_ordered`] errors.
+pub fn insert_scan_placed(
+    netlist: &mut Netlist,
+    config: &ScanConfig,
+    placement: &Placement,
+    order: ChainOrder,
+) -> Result<ScanChains, DftError> {
+    let mut ffs: Vec<CellId> = netlist.ff_cells().map(|(id, _)| id).collect();
+    let at = |c: CellId| placement.get(c).unwrap_or((0.0, 0.0));
+    match order {
+        ChainOrder::CellOrder => {}
+        ChainOrder::Snake => {
+            ffs.sort_by(|&a, &b| {
+                let (ax, ay) = at(a);
+                let (bx, by) = at(b);
+                let (ra, rb) = (ay.round() as i64, by.round() as i64);
+                ra.cmp(&rb).then_with(|| {
+                    let ka = if ra % 2 == 0 { ax } else { -ax };
+                    let kb = if rb % 2 == 0 { bx } else { -bx };
+                    ka.total_cmp(&kb)
+                })
+            });
+        }
+        ChainOrder::NearestNeighbour => {
+            let mut remaining = ffs;
+            remaining.sort_by(|&a, &b| {
+                let (ax, ay) = at(a);
+                let (bx, by) = at(b);
+                ay.total_cmp(&by).then(ax.total_cmp(&bx))
+            });
+            let mut tour = Vec::with_capacity(remaining.len());
+            let mut current = remaining.remove(0);
+            tour.push(current);
+            while !remaining.is_empty() {
+                let cp = at(current);
+                let (idx, _) = remaining
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        let pa = at(a);
+                        let pb = at(b);
+                        let da = (pa.0 - cp.0).abs() + (pa.1 - cp.1).abs();
+                        let db = (pb.0 - cp.0).abs() + (pb.1 - cp.1).abs();
+                        da.total_cmp(&db)
+                    })
+                    .expect("non-empty");
+                current = remaining.remove(idx);
+                tour.push(current);
+            }
+            ffs = tour;
+        }
+    }
+    insert_scan_ordered(netlist, config, &ffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanguard_netlist::{CellLibrary, Logic, NetlistBuilder};
+    use scanguard_sim::Simulator;
+
+    /// A register bank whose *netlist order* deliberately zig-zags across
+    /// the die, so CellOrder stitching is terrible.
+    fn bank_with_grid(n: usize, columns: usize) -> (Netlist, Placement) {
+        let mut b = NetlistBuilder::new("bank");
+        let mut cells = Vec::new();
+        for i in 0..n {
+            let d = b.input(&format!("d[{i}]"));
+            let (q, cell) = b.dff(&format!("r{i}"), d);
+            b.output(&format!("q[{i}]"), q);
+            cells.push(cell);
+        }
+        let nl = b.finish().unwrap();
+        // Scatter: place cell i at a pseudo-random grid slot.
+        let mut slots: Vec<usize> = (0..n).collect();
+        let mut state = 0x5EEDu64;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            slots.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut p = Placement::new();
+        for (i, &cell) in cells.iter().enumerate() {
+            let s = slots[i];
+            p.place(cell, (s % columns) as f64 * 10.0, (s / columns) as f64 * 10.0);
+        }
+        (nl, p)
+    }
+
+    #[test]
+    fn snake_and_greedy_beat_cell_order() {
+        let mut wl = HashMap::new();
+        for order in [ChainOrder::CellOrder, ChainOrder::Snake, ChainOrder::NearestNeighbour] {
+            let (mut nl, p) = bank_with_grid(48, 8);
+            let sc =
+                insert_scan_placed(&mut nl, &ScanConfig::with_chains(4), &p, order).unwrap();
+            wl.insert(format!("{order:?}"), p.scan_wirelength_um(&sc));
+        }
+        let cell = wl["CellOrder"];
+        let snake = wl["Snake"];
+        let greedy = wl["NearestNeighbour"];
+        assert!(
+            snake < cell * 0.5,
+            "snake must roughly halve random stitching: {snake} vs {cell}"
+        );
+        assert!(greedy < cell * 0.6, "greedy helps too: {greedy} vs {cell}");
+    }
+
+    #[test]
+    fn placed_chains_still_shift_correctly() {
+        let (mut nl, p) = bank_with_grid(12, 4);
+        let sc = insert_scan_placed(
+            &mut nl,
+            &ScanConfig::with_chains(3),
+            &p,
+            ChainOrder::Snake,
+        )
+        .unwrap();
+        let lib = CellLibrary::st120nm();
+        let mut sim = Simulator::new(&nl, &lib);
+        for i in 0..12 {
+            sim.set_port_bool(&format!("d[{i}]"), false).unwrap();
+        }
+        sc.set_scan_enable(&mut sim, true);
+        let pattern: Vec<Vec<Logic>> = (0..3)
+            .map(|k| (0..4).map(|i| Logic::from((k + i) % 2 == 0)).collect())
+            .collect();
+        sc.load(&mut sim, &pattern);
+        for _ in 0..4 {
+            let fb: Vec<Logic> = sc.chains.iter().map(|c| sim.value(c.so)).collect();
+            sc.shift(&mut sim, &fb);
+        }
+        assert_eq!(sc.snapshot(&sim), pattern, "circulation lossless");
+    }
+
+    #[test]
+    fn order_mismatch_is_rejected() {
+        let (mut nl, _) = bank_with_grid(8, 4);
+        let wrong: Vec<CellId> = (0..4).map(CellId::from_index).collect();
+        let err = insert_scan_ordered(&mut nl, &ScanConfig::with_chains(2), &wrong).unwrap_err();
+        assert!(matches!(err, DftError::OrderMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn grid_placement_coordinates() {
+        let cells: Vec<CellId> = (0..6).map(CellId::from_index).collect();
+        let p = Placement::grid(&cells, 3, 5.0);
+        assert_eq!(p.get(cells[0]), Some((0.0, 0.0)));
+        assert_eq!(p.get(cells[2]), Some((10.0, 0.0)));
+        assert_eq!(p.get(cells[3]), Some((0.0, 5.0)));
+        assert_eq!(p.get(CellId::from_index(99)), None);
+    }
+}

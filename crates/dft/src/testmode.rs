@@ -1,0 +1,218 @@
+//! Manufacturing-test chain concatenation — the paper's Fig. 5(b).
+//!
+//! State monitoring wants many short chains (low encode/decode latency);
+//! the tester wants few chains (limited scan I/O). The paper reconciles
+//! the two by *concatenating* monitor-mode chains in test mode: with `W`
+//! monitor chains and a test width of `T`, chain `j`'s scan-in is fed from
+//! chain `j - T`'s scan-out, so the tester sees `T` chains of length
+//! `(W / T) * l`. Because the same flops shift in the same order, the
+//! reconfiguration has **no impact on manufacturing test** — the property
+//! Sec. III claims and the tests below prove.
+
+use crate::{DftError, ScanChains};
+use scanguard_netlist::{GateKind, Logic, NetId, Netlist};
+use scanguard_sim::Simulator;
+
+/// Handle to the test-mode concatenation overlay.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TestModeConfig {
+    /// The `test_mode` select net (paper Fig. 2 drives this from the
+    /// 2-bit `sel` control; a dedicated pin is equivalent).
+    pub test_mode: NetId,
+    /// Manufacturing-test I/O width `T`.
+    pub test_width: usize,
+    /// The `T` scan-in nets the tester drives (chains `0..T`).
+    pub test_si: Vec<NetId>,
+    /// The `T` scan-out nets the tester observes (chains `W-T..W`).
+    pub test_so: Vec<NetId>,
+    /// Length of each concatenated test chain in flops.
+    pub test_chain_len: usize,
+}
+
+impl TestModeConfig {
+    /// Drives the mode select.
+    pub fn set_test_mode(&self, sim: &mut Simulator<'_>, on: bool) {
+        sim.set_net(self.test_mode, Logic::from(on));
+    }
+
+    /// One test-mode shift cycle: presents `inputs` on the `T` test
+    /// scan-ins, returns the bits observed on the `T` test scan-outs
+    /// during the cycle, then clocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.test_width`.
+    pub fn shift(&self, sim: &mut Simulator<'_>, inputs: &[Logic]) -> Vec<Logic> {
+        assert_eq!(inputs.len(), self.test_width, "one bit per test pin");
+        for (&net, &bit) in self.test_si.iter().zip(inputs) {
+            sim.set_net(net, bit);
+        }
+        sim.settle();
+        let outs: Vec<Logic> = self.test_so.iter().map(|&n| sim.value(n)).collect();
+        sim.step();
+        outs
+    }
+}
+
+/// Adds the Fig. 5(b) concatenation muxes to a scanned netlist.
+///
+/// Chain `j >= T` gets a mux on its first flop's scan pin selecting
+/// between its monitor-mode source (the chain's own `si`, possibly
+/// through an injector overlay) and chain `j - T`'s scan-out. The
+/// netlist is revalidated.
+///
+/// # Errors
+///
+/// * [`DftError::TestWidthMismatch`] unless `test_width` divides the
+///   chain count;
+/// * [`DftError::Netlist`] if the `test_mode` port name clashes.
+pub fn configure_test_mode(
+    netlist: &mut Netlist,
+    chains: &ScanChains,
+    test_width: usize,
+) -> Result<TestModeConfig, DftError> {
+    let w = chains.width();
+    if test_width == 0 || w % test_width != 0 {
+        return Err(DftError::TestWidthMismatch {
+            chains: w,
+            test_width,
+        });
+    }
+    let test_mode = netlist.add_input_port("test_mode")?;
+    for j in 0..w {
+        let first = chains.chains[j].cells[0];
+        let current_src = netlist.cell(first).inputs()[1];
+        // Chains j >= T concatenate from chain j-T's scan-out; chains
+        // j < T are driven by the tester through their own si port. When
+        // that port is already the current source (plain scanned design),
+        // no mux is needed.
+        let test_src = if j >= test_width {
+            chains.chains[j - test_width].so
+        } else if current_src == chains.chains[j].si {
+            continue;
+        } else {
+            chains.chains[j].si
+        };
+        let (muxed, _) = netlist.add_cell(
+            GateKind::Mux2,
+            vec![test_mode, current_src, test_src],
+            None,
+        );
+        netlist.set_cell_input(first, 1, muxed);
+    }
+    netlist.revalidate().map_err(DftError::Netlist)?;
+    let per_group = w / test_width;
+    Ok(TestModeConfig {
+        test_mode,
+        test_width,
+        test_si: chains.chains[..test_width].iter().map(|c| c.si).collect(),
+        test_so: chains.chains[w - test_width..].iter().map(|c| c.so).collect(),
+        test_chain_len: per_group * chains.max_len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{insert_scan, ScanConfig};
+    use scanguard_netlist::{CellLibrary, NetlistBuilder, Netlist};
+
+    fn scanned(ffs: usize, chains: usize) -> (Netlist, ScanChains) {
+        let mut b = NetlistBuilder::new("regs");
+        for i in 0..ffs {
+            let d = b.input(&format!("d[{i}]"));
+            let (q, _) = b.dff(&format!("r{i}"), d);
+            b.output(&format!("q[{i}]"), q);
+        }
+        let mut nl = b.finish().unwrap();
+        let sc = insert_scan(&mut nl, &ScanConfig::with_chains(chains)).unwrap();
+        (nl, sc)
+    }
+
+    #[test]
+    fn width_must_divide_chains() {
+        let (mut nl, sc) = scanned(16, 4);
+        assert!(matches!(
+            configure_test_mode(&mut nl, &sc, 3),
+            Err(DftError::TestWidthMismatch { .. })
+        ));
+        assert!(matches!(
+            configure_test_mode(&mut nl, &sc, 0),
+            Err(DftError::TestWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn concatenated_chain_shifts_data_through() {
+        // 16 flops, 4 monitor chains of 4, test width 2 => 2 test chains
+        // of 8. A pattern shifted in must emerge identical after 8 more
+        // cycles.
+        let (mut nl, sc) = scanned(16, 4);
+        let tm = configure_test_mode(&mut nl, &sc, 2).unwrap();
+        assert_eq!(tm.test_chain_len, 8);
+        let lib = CellLibrary::st120nm();
+        let mut sim = Simulator::new(&nl, &lib);
+        for i in 0..16 {
+            sim.set_port_bool(&format!("d[{i}]"), false).unwrap();
+        }
+        sc.set_scan_enable(&mut sim, true);
+        tm.set_test_mode(&mut sim, true);
+        // Also drive the unused monitor-mode si pins of chains >= T low.
+        for c in &sc.chains {
+            // Setting a port that now feeds a mux still works.
+            sim.set_net(c.si, Logic::Zero);
+        }
+        let pattern: Vec<Vec<Logic>> = (0..2)
+            .map(|g| {
+                (0..8)
+                    .map(|i| Logic::from((i * 3 + g) % 2 == 0))
+                    .collect()
+            })
+            .collect();
+        // Shift the pattern in (8 cycles).
+        for i in 0..8 {
+            let ins = [pattern[0][i], pattern[1][i]];
+            tm.shift(&mut sim, &ins);
+        }
+        // Shift it out (8 cycles) while feeding zeros.
+        let mut out = [Vec::new(), Vec::new()];
+        for _ in 0..8 {
+            let outs = tm.shift(&mut sim, &[Logic::Zero, Logic::Zero]);
+            out[0].push(outs[0]);
+            out[1].push(outs[1]);
+        }
+        assert_eq!(out[0], pattern[0], "test chain 0 intact");
+        assert_eq!(out[1], pattern[1], "test chain 1 intact");
+    }
+
+    #[test]
+    fn monitor_mode_is_unaffected_by_the_overlay() {
+        // With test_mode=0 the chains behave exactly as before the
+        // overlay: a circulation is lossless.
+        let (mut nl, sc) = scanned(16, 4);
+        let tm = configure_test_mode(&mut nl, &sc, 4).unwrap();
+        let lib = CellLibrary::st120nm();
+        let mut sim = Simulator::new(&nl, &lib);
+        for i in 0..16 {
+            sim.set_port_bool(&format!("d[{i}]"), false).unwrap();
+        }
+        sc.set_scan_enable(&mut sim, true);
+        tm.set_test_mode(&mut sim, false);
+        let init: Vec<Vec<Logic>> = (0..4)
+            .map(|k| (0..4).map(|i| Logic::from((k + i) % 2 == 0)).collect())
+            .collect();
+        sc.load(&mut sim, &init);
+        for _ in 0..4 {
+            let fb: Vec<Logic> = sc.chains.iter().map(|c| sim.value(c.so)).collect();
+            sc.shift(&mut sim, &fb);
+        }
+        assert_eq!(sc.snapshot(&sim), init);
+    }
+
+    #[test]
+    fn test_chain_covers_every_flop_exactly_once() {
+        let (mut nl, sc) = scanned(24, 6);
+        let tm = configure_test_mode(&mut nl, &sc, 3).unwrap();
+        assert_eq!(tm.test_chain_len * tm.test_width, sc.ff_count());
+    }
+}

@@ -1,0 +1,344 @@
+//! `scanguard` — command-line front end to the reproduction.
+//!
+//! ```text
+//! scanguard cost     --depth 32 --width 32 --chains 80 --code hamming:3
+//! scanguard sweep    --depth 32 --width 32 --code crc16 --chains 4,8,16,40,80
+//! scanguard validate --sequences 20 --mode burst
+//! scanguard fig10    --sequences 10000
+//! scanguard rush     --trials 2000
+//! scanguard verilog  --depth 8 --width 8 --chains 8 --code crc16 --out fifo.v
+//! ```
+
+use scanguard_core::{break_even, cost_header, measure_cost, CodeChoice, Synthesizer};
+use scanguard_designs::Fifo;
+use scanguard_harness::{
+    ablation_rush, cost_sweep, fig10_family, print_table, validation, Fig10Config,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "cost" => cmd_cost(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "validate" => cmd_validate(&opts),
+        "fig10" => cmd_fig10(&opts),
+        "rush" => cmd_rush(&opts),
+        "coverage" => cmd_coverage(&opts),
+        "verilog" => cmd_verilog(&opts),
+        "json" => cmd_json(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "scanguard — scan-based state retention protection (Yang et al., DATE 2010)
+
+USAGE: scanguard <command> [--key value]...
+
+COMMANDS:
+  cost      measure one configuration's cost row and break-even point
+              --depth N --width N --chains N --code CODE [--test-width N]
+  sweep     cost table across chain counts
+              --depth N --width N --code CODE --chains N,N,...
+  validate  run the Fig. 8 testbench (32x32 FIFO, 80 chains)
+              [--sequences N] [--mode single|burst|none]
+  fig10     Monte-Carlo correction-ability curves
+              [--sequences N] [--burst true]
+  rush      wake-strategy ablation over the RLC/upset models
+              [--trials N]
+  coverage  stuck-at fault coverage of the protected design's scan test
+              --depth N --width N --chains N --code CODE --test-width N
+              [--patterns N] [--max-faults N]
+  verilog   export a protected FIFO as structural Verilog
+              --depth N --width N --chains N --code CODE [--out FILE]
+  json      export a protected FIFO netlist as JSON
+              --depth N --width N --chains N --code CODE [--out FILE]
+
+CODE: crc16 | hamming:M | secded:M | parity:GW   (M = parity bits, 3..=6)";
+
+fn parse_opts(rest: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --key, got {key:?}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("missing value for --{name}"))?;
+        opts.insert(name.to_owned(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn get<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value {v:?} for --{key}")),
+    }
+}
+
+fn parse_code(opts: &HashMap<String, String>) -> Result<CodeChoice, String> {
+    let raw = opts.get("code").map_or("hamming:3", String::as_str);
+    if raw == "crc16" {
+        return Ok(CodeChoice::Crc16);
+    }
+    if let Some(m) = raw.strip_prefix("hamming:") {
+        let m: u32 = m.parse().map_err(|_| format!("bad hamming order {m:?}"))?;
+        return Ok(CodeChoice::Hamming { m });
+    }
+    if let Some(m) = raw.strip_prefix("secded:") {
+        let m: u32 = m.parse().map_err(|_| format!("bad secded order {m:?}"))?;
+        return Ok(CodeChoice::ExtendedHamming { m });
+    }
+    if let Some(gw) = raw.strip_prefix("parity:") {
+        let gw: usize = gw.parse().map_err(|_| format!("bad parity width {gw:?}"))?;
+        return Ok(CodeChoice::Parity { group_width: gw });
+    }
+    Err(format!(
+        "unknown code {raw:?} (crc16 | hamming:M | secded:M | parity:GW)"
+    ))
+}
+
+fn build(opts: &HashMap<String, String>) -> Result<scanguard_core::ProtectedDesign, String> {
+    let depth = get(opts, "depth", 32usize)?;
+    let width = get(opts, "width", 32usize)?;
+    let chains = get(opts, "chains", 80usize)?;
+    let code = parse_code(opts)?;
+    let fifo = Fifo::generate(depth, width);
+    let mut synth = Synthesizer::new(fifo.netlist).chains(chains).code(code);
+    if let Some(tw) = opts.get("test-width") {
+        let tw: usize = tw
+            .parse()
+            .map_err(|_| format!("invalid --test-width {tw:?}"))?;
+        synth = synth.test_width(tw);
+    }
+    synth.build().map_err(|e| e.to_string())
+}
+
+fn cmd_cost(opts: &HashMap<String, String>) -> Result<(), String> {
+    let design = build(opts)?;
+    let row = measure_cost(&design, 0xC11);
+    print_table(
+        &format!(
+            "cost of {} on a {} ({} flops)",
+            design.monitor.code.name(),
+            design.netlist.name(),
+            design.chains.ff_count()
+        ),
+        &cost_header(),
+        &[row.to_string()],
+    );
+    let be = break_even(&design, &row);
+    println!(
+        "leakage: {:.1} nW active -> {:.1} nW asleep; protection energy {:.2} nJ;",
+        be.active_leakage_nw, be.sleep_leakage_nw, be.protection_energy_nj
+    );
+    println!(
+        "a sleep episode must last >= {:.1} us for a net energy win",
+        be.min_sleep_us
+    );
+    Ok(())
+}
+
+fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
+    let depth = get(opts, "depth", 32usize)?;
+    let width = get(opts, "width", 32usize)?;
+    let code = parse_code(opts)?;
+    let chains: Vec<usize> = opts
+        .get("chains")
+        .map_or("4,8,16,40,80", String::as_str)
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad chain count {s:?}")))
+        .collect::<Result<_, _>>()?;
+    let rows = cost_sweep(depth, width, code, &chains);
+    print_table(
+        &format!("{depth}x{width} FIFO, {}", code.name()),
+        &cost_header(),
+        &rows.iter().map(ToString::to_string).collect::<Vec<_>>(),
+    );
+    if let Some(path) = opts.get("json") {
+        let doc = serde_json::to_string_pretty(&rows)
+            .map_err(|e| format!("encoding rows: {e}"))?;
+        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_validate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let sequences = get(opts, "sequences", 10u64)?;
+    let mode = opts.get("mode").map_or("single", String::as_str);
+    match mode {
+        "single" | "burst" | "none" => {}
+        other => return Err(format!("unknown mode {other:?}")),
+    }
+    println!("running the Fig. 8 testbench (32x32 FIFO, 80 chains)...");
+    let runs = validation(32, 32, 80, sequences);
+    let show = |name: &str, s: scanguard_harness::ValidationStats| {
+        println!(
+            "  {name:<28} reported {}/{}  corrected {}/{}  comparator mismatches {}",
+            s.errors_reported, s.sequences, s.sequences_recovered, s.sequences,
+            s.comparator_mismatches
+        );
+    };
+    show("Hamming(7,4), single errors:", runs.hamming_single);
+    show("Hamming(7,4), burst errors:", runs.hamming_burst);
+    show("CRC-16, burst errors:", runs.crc_burst);
+    Ok(())
+}
+
+fn cmd_fig10(opts: &HashMap<String, String>) -> Result<(), String> {
+    let sequences = get(opts, "sequences", 10_000u64)?;
+    let burst = get(opts, "burst", false)?;
+    let cfg = Fig10Config {
+        sequences,
+        burst,
+        ..Fig10Config::default()
+    };
+    println!("corrected % per injected-error count (1..=10), {sequences} sequences/point:");
+    for (name, pts) in fig10_family(&cfg) {
+        let series: Vec<String> = pts.iter().map(|p| format!("{:.1}", p.corrected_pct)).collect();
+        println!("  {name:<16} {}", series.join("  "));
+    }
+    Ok(())
+}
+
+fn cmd_rush(opts: &HashMap<String, String>) -> Result<(), String> {
+    let trials = get(opts, "trials", 1000u64)?;
+    for r in ablation_rush(80, 13, trials, 0xC11) {
+        println!(
+            "  {:<32} bounce {:.3} V  wake {:>3} cyc  P(upset) {:.3}  P(corrupt) {:.3}",
+            r.strategy, r.peak_bounce_v, r.wake_cycles, r.upset_prob, r.residual_prob
+        );
+    }
+    Ok(())
+}
+
+fn cmd_json(opts: &HashMap<String, String>) -> Result<(), String> {
+    let design = build(opts)?;
+    let doc = design
+        .netlist
+        .to_json()
+        .map_err(|e| format!("encoding netlist: {e}"))?;
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "wrote {} ({} cells, {} bytes)",
+                path,
+                design.netlist.cell_count(),
+                doc.len()
+            );
+        }
+        None => println!("{doc}"),
+    }
+    Ok(())
+}
+
+fn cmd_coverage(opts: &HashMap<String, String>) -> Result<(), String> {
+    use scanguard_dft::{enumerate_faults, fault_coverage, FaultSimConfig, ScanAccess};
+    let mut opts = opts.clone();
+    opts.entry("test-width".to_owned())
+        .or_insert_with(|| "4".to_owned());
+    let design = build(&opts)?;
+    let tm = design
+        .test_mode
+        .as_ref()
+        .ok_or("coverage needs --test-width")?;
+    let patterns = get(&opts, "patterns", 16usize)?;
+    let max_faults = match opts.get("max-faults") {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --max-faults {v:?}"))?),
+        None => Some(200),
+    };
+    // Default scope: the power-gated circuit's faults. The monitor's own
+    // logic sits idle during manufacturing test (controls held low) and
+    // needs dedicated patterns — out of scope for the scan test.
+    let scope = opts.get("scope").cloned().unwrap_or_else(|| "pgc".into());
+    let mut faults = enumerate_faults(&design.netlist);
+    if scope == "pgc" {
+        faults.retain(|f| f.cell.index() < design.gated_watermark);
+    } else if scope != "all" {
+        return Err(format!("unknown --scope {scope:?} (pgc | all)"));
+    }
+    println!(
+        "{} {scope} faults; simulating {} with {} patterns...",
+        faults.len(),
+        max_faults.unwrap_or(faults.len()).min(faults.len()),
+        patterns
+    );
+    let report = fault_coverage(
+        &design.netlist,
+        ScanAccess::TestMode(&design.chains, tm),
+        &design.library,
+        &faults,
+        &FaultSimConfig {
+            patterns,
+            seed: 0xC0 | 1,
+            max_faults,
+            hold_low: vec![
+                "mon_en".into(),
+                "mon_decode".into(),
+                "mon_clear".into(),
+                "mon_sig_cap".into(),
+            ],
+        },
+    );
+    println!(
+        "detected {}/{} = {:.1}% stuck-at coverage through the test interface",
+        report.detected,
+        report.faults,
+        report.coverage_pct()
+    );
+    if !report.undetected_sample.is_empty() {
+        println!("sample undetected: {:?}", &report.undetected_sample[..report.undetected_sample.len().min(5)]);
+    }
+    Ok(())
+}
+
+fn cmd_verilog(opts: &HashMap<String, String>) -> Result<(), String> {
+    let design = build(opts)?;
+    let v = scanguard_netlist::to_verilog(&design.netlist);
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &v).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "wrote {} ({} cells, {} lines)",
+                path,
+                design.netlist.cell_count(),
+                v.lines().count()
+            );
+        }
+        None => print!("{v}"),
+    }
+    Ok(())
+}

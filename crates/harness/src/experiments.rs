@@ -1,0 +1,501 @@
+//! Experiment runners — one per paper table/figure (see DESIGN.md's
+//! per-experiment index). The bench targets in `scanguard-bench` are thin
+//! wrappers around these functions so the same code paths are exercised
+//! by integration tests.
+
+use crate::{FifoTestbench, InjectionMode, ValidationStats};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scanguard_codes::{BlockCode, Hamming, SequenceCodec};
+use scanguard_core::{measure_cost, CodeChoice, CostRow, Synthesizer};
+use scanguard_designs::Fifo;
+use scanguard_power::{PowerNetwork, UpsetModel, WakeStrategy};
+
+/// The chain-count sweep of the paper's Tables I and II.
+pub const PAPER_W_SWEEP: [usize; 5] = [4, 8, 16, 40, 80];
+
+/// The chain counts the paper pairs with each Hamming code in Table III
+/// (multiples of each code's data width).
+pub const TABLE3_W: [usize; 4] = [56, 55, 52, 57];
+
+/// Builds the paper's case-study circuit: the 32x32 FIFO.
+#[must_use]
+pub fn paper_fifo() -> Fifo {
+    Fifo::generate(32, 32)
+}
+
+/// Measures cost rows for `code` across a chain-count sweep on a
+/// `depth x width` FIFO. Rows are measured in parallel (one design per
+/// thread).
+///
+/// # Panics
+///
+/// Panics if a sweep entry is incompatible with the code's group width
+/// (use multiples of `code.group_width()`).
+#[must_use]
+pub fn cost_sweep(depth: usize, width: usize, code: CodeChoice, sweep: &[usize]) -> Vec<CostRow> {
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = sweep
+            .iter()
+            .map(|&w| {
+                s.spawn(move |_| {
+                    let fifo = Fifo::generate(depth, width);
+                    let design = Synthesizer::new(fifo.netlist)
+                        .chains(w)
+                        .code(code)
+                        .build()
+                        .unwrap_or_else(|e| panic!("W={w}: {e}"));
+                    measure_cost(&design, 0x00C0_FFEE ^ w as u64)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cost worker panicked"))
+            .collect()
+    })
+    .expect("cost sweep scope panicked")
+}
+
+/// **Table I**: CRC-16 cost sweep on the 32x32 FIFO.
+#[must_use]
+pub fn table1() -> Vec<CostRow> {
+    cost_sweep(32, 32, CodeChoice::crc16(), &PAPER_W_SWEEP)
+}
+
+/// **Table II**: Hamming(7,4) cost sweep on the 32x32 FIFO.
+#[must_use]
+pub fn table2() -> Vec<CostRow> {
+    cost_sweep(32, 32, CodeChoice::hamming7_4(), &PAPER_W_SWEEP)
+}
+
+/// One row of the reproduced Table III.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table3Row {
+    /// Code name.
+    pub code: String,
+    /// Chain count `W`.
+    pub chains: usize,
+    /// Baseline (scanned FIFO) area, um^2.
+    pub fifo_area_um2: f64,
+    /// Protected total area, um^2.
+    pub total_area_um2: f64,
+    /// Overhead, %.
+    pub overhead_pct: f64,
+    /// Encoding power, mW.
+    pub enc_power_mw: f64,
+    /// Decoding power, mW.
+    pub dec_power_mw: f64,
+    /// Maximum correction capability, % of codeword bits.
+    pub capability_pct: f64,
+}
+
+/// **Table III**: the Hamming code family on the 32x32 FIFO, each with
+/// its paper-matched chain count.
+#[must_use]
+pub fn table3() -> Vec<Table3Row> {
+    table3_on(32, 32)
+}
+
+/// Table III on a configurable FIFO (smaller for smoke tests).
+#[must_use]
+pub fn table3_on(depth: usize, width: usize) -> Vec<Table3Row> {
+    let configs: Vec<(u32, usize)> = (3..=6).zip(TABLE3_W).collect();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = configs
+            .into_iter()
+            .map(|(m, w)| {
+                s.spawn(move |_| {
+                    let fifo = Fifo::generate(depth, width);
+                    let design = Synthesizer::new(fifo.netlist)
+                        .chains(w)
+                        .code(CodeChoice::Hamming { m })
+                        .build()
+                        .unwrap_or_else(|e| panic!("m={m} W={w}: {e}"));
+                    let row = measure_cost(&design, u64::from(m));
+                    let code = Hamming::new(m).expect("family order");
+                    Table3Row {
+                        code: BlockCode::name(&code),
+                        chains: w,
+                        fifo_area_um2: design.baseline.total_area_um2,
+                        total_area_um2: design.protected.total_area_um2,
+                        overhead_pct: row.overhead_pct,
+                        enc_power_mw: row.enc_power_mw,
+                        dec_power_mw: row.dec_power_mw,
+                        capability_pct: code.correction_capability_pct(),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("table3 worker panicked"))
+            .collect()
+    })
+    .expect("table3 scope panicked")
+}
+
+/// **Sec. IV validation**, experiment 1 and 2: single-error injection
+/// (all corrected) and burst injection (all detected, none corrected by
+/// plain Hamming) on the protected FIFO with the paper's 80-chain
+/// configuration. Returns `(single, burst, crc_single)` stats.
+///
+/// # Panics
+///
+/// Panics if the testbench cannot be synthesized (a configuration bug).
+#[must_use]
+pub fn validation(depth: usize, width: usize, chains: usize, sequences: u64) -> ValidationRuns {
+    let hamming =
+        FifoTestbench::new(depth, width, chains, CodeChoice::hamming7_4()).expect("hamming tb");
+    let single = hamming.run(sequences, InjectionMode::Single, 0x51);
+    let burst = hamming.run(sequences, InjectionMode::Burst { max_span: 4 }, 0xB5);
+    let crc = FifoTestbench::new(depth, width, chains, CodeChoice::crc16()).expect("crc tb");
+    let crc_burst = crc.run(sequences, InjectionMode::Burst { max_span: 4 }, 0xC5);
+    ValidationRuns {
+        hamming_single: single,
+        hamming_burst: burst,
+        crc_burst,
+    }
+}
+
+/// The three Sec. IV validation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ValidationRuns {
+    /// Hamming(7,4), one error per sequence.
+    pub hamming_single: ValidationStats,
+    /// Hamming(7,4), clustered multi-error per sequence.
+    pub hamming_burst: ValidationStats,
+    /// CRC-16, clustered multi-error per sequence (detection only).
+    pub crc_burst: ValidationStats,
+}
+
+/// One row of the rush-current ablation (E7): what each wake strategy
+/// and the proposed monitoring buy, measured over Monte-Carlo wake
+/// events.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RushRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// Peak shared-rail bounce, V.
+    pub peak_bounce_v: f64,
+    /// Wake latency in cycles at 100 MHz (plus decode latency when
+    /// monitoring is on).
+    pub wake_cycles: u64,
+    /// Fraction of wake events with at least one retention upset.
+    pub upset_prob: f64,
+    /// Fraction of wake events that end with corrupted state (after
+    /// correction, when monitoring is on).
+    pub residual_prob: f64,
+}
+
+/// **E7 ablation**: rush-current reduction (refs \[7,8\]) vs. the proposed
+/// monitoring, on a `chains x chain_len` retention array (the paper's
+/// FIFO uses 80 x 13).
+///
+/// Physical upsets cluster along the latch array (chain-major layout);
+/// the monitor's codewords run *across* chains at equal depth, so the
+/// scan order acts as an interleaver: a burst confined to one chain
+/// lands every flip in a different codeword and is fully corrected,
+/// while a wide burst hits same-depth pairs and defeats plain Hamming.
+#[must_use]
+pub fn ablation_rush(chains: usize, chain_len: usize, trials: u64, seed: u64) -> Vec<RushRow> {
+    let latches = chains * chain_len;
+    let network = PowerNetwork::default_120nm();
+    let upsets = UpsetModel::default_120nm();
+    let code = Hamming::h7_4();
+    let codec = SequenceCodec::new(Box::new(code));
+    let strategies: Vec<(String, WakeStrategy, bool)> = vec![
+        ("full-bank".into(), WakeStrategy::FullBank, false),
+        (
+            "staggered x2 [7]".into(),
+            WakeStrategy::Staggered { groups: 2 },
+            false,
+        ),
+        (
+            "staggered x8 [7]".into(),
+            WakeStrategy::Staggered { groups: 8 },
+            false,
+        ),
+        (
+            "slow-ramp x20 [8]".into(),
+            WakeStrategy::SlowRamp { ramp_factor: 20.0 },
+            false,
+        ),
+        (
+            "full-bank + monitor (proposed)".into(),
+            WakeStrategy::FullBank,
+            true,
+        ),
+        (
+            "staggered x8 + monitor".into(),
+            WakeStrategy::Staggered { groups: 8 },
+            true,
+        ),
+    ];
+    strategies
+        .into_iter()
+        .map(|(name, strategy, monitored)| {
+            let event = strategy.wake(&network);
+            let mut upset_events = 0u64;
+            let mut residual_events = 0u64;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for t in 0..trials {
+                let flips = upsets.upsets(event.peak_bounce_v, latches, seed ^ (t + 1));
+                if flips.is_empty() {
+                    continue;
+                }
+                upset_events += 1;
+                if !monitored {
+                    residual_events += 1;
+                    continue;
+                }
+                // Behavioural recovery: codewords are formed across
+                // chains at equal depth, so physical latch i (chain
+                // i / l, depth i % l) is sequence bit depth * W + chain.
+                let original: Vec<bool> = (0..latches).map(|_| rng.gen()).collect();
+                let parities = codec.protect(&original);
+                let mut corrupted = original.clone();
+                for &i in &flips {
+                    let (c, d) = (i / chain_len, i % chain_len);
+                    let pos = d * chains + c;
+                    corrupted[pos] = !corrupted[pos];
+                }
+                codec.recover(&mut corrupted, &parities);
+                if corrupted != original {
+                    residual_events += 1;
+                }
+            }
+            let decode_cycles = if monitored { chain_len as u64 + 2 } else { 0 };
+            RushRow {
+                strategy: name,
+                peak_bounce_v: event.peak_bounce_v,
+                wake_cycles: event.wake_cycles(100.0) + decode_cycles,
+                upset_prob: upset_events as f64 / trials as f64,
+                residual_prob: residual_events as f64 / trials as f64,
+            }
+        })
+        .collect()
+}
+
+/// One row of the recovery-scheme ablation (E9): hardware in-stream
+/// correction vs. CRC detection with software reload (paper Sec. V's
+/// closing alternative).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RecoveryRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Monitor area overhead, %.
+    pub monitor_overhead_pct: f64,
+    /// Cycles from wake to recovered state (detection + repair).
+    pub recovery_cycles: u64,
+    /// Energy of the repair path, nJ.
+    pub recovery_energy_nj: f64,
+    /// Whether the corrupted state was fully recovered.
+    pub recovered: bool,
+    /// Break-even sleep duration for a net energy win, microseconds.
+    pub break_even_us: f64,
+}
+
+/// **E9 ablation**: hardware correction (Hamming monitor) vs. software
+/// recovery (CRC monitor + checkpoint reload through the test pins) on
+/// a `depth x width` FIFO with `chains` chains and `test_width` pins.
+///
+/// # Panics
+///
+/// Panics if the configurations cannot be synthesized.
+#[must_use]
+pub fn ablation_recovery(
+    depth: usize,
+    width: usize,
+    chains: usize,
+    test_width: usize,
+) -> Vec<RecoveryRow> {
+    use scanguard_core::{break_even, checkpoint, measure_cost, restore, Synthesizer};
+    let mut rows = Vec::new();
+
+    // Hardware correction.
+    let fifo = Fifo::generate(depth, width);
+    let hw = Synthesizer::new(fifo.netlist)
+        .chains(chains)
+        .code(CodeChoice::hamming7_4())
+        .test_width(test_width)
+        .build()
+        .expect("hamming design");
+    let hw_cost = measure_cost(&hw, 0xE9);
+    let hw_be = break_even(&hw, &hw_cost);
+    let mut rt = hw.runtime();
+    rt.load_random_state(0xE9);
+    let rep = rt.sleep_wake(|sim, ch| {
+        sim.flip_retention(ch.chains[1].cells[2]);
+        1
+    });
+    rows.push(RecoveryRow {
+        scheme: "Hamming(7,4) hardware correction".into(),
+        monitor_overhead_pct: hw.area_overhead_pct(),
+        recovery_cycles: rep.decode.cycles,
+        recovery_energy_nj: rep.decode.energy_nj(),
+        recovered: rep.state_intact(),
+        break_even_us: hw_be.min_sleep_us,
+    });
+
+    // Software recovery.
+    let fifo = Fifo::generate(depth, width);
+    let sw = Synthesizer::new(fifo.netlist)
+        .chains(chains)
+        .code(CodeChoice::crc16())
+        .test_width(test_width)
+        .build()
+        .expect("crc design");
+    let sw_cost = measure_cost(&sw, 0xEA);
+    let sw_be = break_even(&sw, &sw_cost);
+    let mut rt = sw.runtime();
+    rt.load_random_state(0xEA);
+    let cp = checkpoint(&mut rt);
+    let rep = rt.sleep_wake(|sim, ch| {
+        sim.flip_retention(ch.chains[1].cells[2]);
+        1
+    });
+    let detected = rep.error_observed;
+    let reload = restore(&mut rt, &cp);
+    let recovered = detected && sw.chains.snapshot(rt.sim()) == cp.state();
+    rows.push(RecoveryRow {
+        scheme: "CRC-16 + software reload".into(),
+        monitor_overhead_pct: sw.area_overhead_pct(),
+        recovery_cycles: rep.decode.cycles + reload.cycles,
+        recovery_energy_nj: rep.decode.energy_nj() + reload.energy.energy_nj(),
+        recovered,
+        break_even_us: sw_be.min_sleep_us,
+    });
+    rows
+}
+
+/// One row of the SEC-DED ablation (E8).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SecdedRow {
+    /// Code name.
+    pub code: String,
+    /// Average wrong bits left after decoding a same-word double error.
+    pub avg_residual_bits: f64,
+    /// Fraction of double errors that were *miscorrected* (a third bit
+    /// flipped on top).
+    pub miscorrection_rate: f64,
+}
+
+/// **E8 ablation**: plain vs. extended Hamming under same-word double
+/// errors (the failure mode of the paper's Sec. IV experiment 2).
+#[must_use]
+pub fn ablation_secded(trials: u64, seed: u64) -> Vec<SecdedRow> {
+    use scanguard_codes::ExtendedHamming;
+    let codes: Vec<(String, Box<dyn BlockCode>)> = vec![
+        ("Hamming(7,4)".into(), Box::new(Hamming::h7_4())),
+        (
+            "ExtHamming(8,4)".into(),
+            Box::new(ExtendedHamming::new(Hamming::h7_4())),
+        ),
+    ];
+    codes
+        .into_iter()
+        .map(|(name, code)| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let k = code.k();
+            let mut residual_sum = 0u64;
+            let mut miscorrections = 0u64;
+            for _ in 0..trials {
+                let data: u64 = rng.gen::<u64>() & ((1 << k) - 1);
+                let b1 = rng.gen_range(0..k);
+                let b2 = (b1 + 1 + rng.gen_range(0..k - 1)) % k;
+                let parity = code.encode(data);
+                let corrupt = data ^ (1 << b1) ^ (1 << b2);
+                let (fixed, _) = code.correct(corrupt, parity);
+                let residual = (fixed ^ data).count_ones();
+                residual_sum += u64::from(residual);
+                if residual > 2 {
+                    miscorrections += 1;
+                }
+            }
+            SecdedRow {
+                code: name,
+                avg_residual_bits: residual_sum as f64 / trials as f64,
+                miscorrection_rate: miscorrections as f64 / trials as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cost_sweep_has_paper_shape() {
+        // 8x8 FIFO, W in {4, 8}: latency halves, area grows.
+        let rows = cost_sweep(8, 8, CodeChoice::crc16(), &[4, 8]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].latency_ns < rows[0].latency_ns);
+        assert!(rows[1].area_um2 >= rows[0].area_um2);
+        assert!(rows[1].enc_energy_nj < rows[0].enc_energy_nj);
+    }
+
+    #[test]
+    fn table3_small_has_monotone_overhead_and_capability() {
+        let rows = table3_on(8, 8);
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(
+                w[0].overhead_pct > w[1].overhead_pct,
+                "{} {:.1}% !> {} {:.1}%",
+                w[0].code,
+                w[0].overhead_pct,
+                w[1].code,
+                w[1].overhead_pct
+            );
+            assert!(w[0].capability_pct > w[1].capability_pct);
+        }
+    }
+
+    #[test]
+    fn rush_ablation_tells_the_papers_story() {
+        let rows = ablation_rush(80, 13, 60, 5);
+        let by = |n: &str| {
+            rows.iter()
+                .find(|r| r.strategy.starts_with(n))
+                .unwrap_or_else(|| panic!("missing {n}"))
+        };
+        let full = by("full-bank");
+        let stag = by("staggered x8 [");
+        let monitored = by("full-bank + monitor");
+        // Reduction techniques reduce upsets but whatever slips through
+        // stays; monitoring corrects most of it.
+        assert!(stag.peak_bounce_v < full.peak_bounce_v);
+        assert!(stag.upset_prob <= full.upset_prob);
+        assert!(monitored.residual_prob < full.residual_prob);
+        assert_eq!(full.residual_prob, full.upset_prob, "no correction");
+    }
+
+    #[test]
+    fn recovery_ablation_trades_area_for_latency() {
+        let rows = ablation_recovery(8, 8, 8, 4);
+        let hw = &rows[0];
+        let sw = &rows[1];
+        assert!(hw.recovered && sw.recovered, "both schemes must recover");
+        assert!(
+            hw.monitor_overhead_pct > sw.monitor_overhead_pct,
+            "hardware correction costs area: {hw:?} vs {sw:?}"
+        );
+        assert!(
+            sw.recovery_cycles > hw.recovery_cycles,
+            "software reload costs latency: {hw:?} vs {sw:?}"
+        );
+    }
+
+    #[test]
+    fn secded_ablation_shows_no_miscorrection_for_extended() {
+        let rows = ablation_secded(500, 9);
+        let plain = &rows[0];
+        let ext = &rows[1];
+        assert!(plain.miscorrection_rate > 0.3, "{plain:?}");
+        assert_eq!(ext.miscorrection_rate, 0.0, "{ext:?}");
+        assert!(ext.avg_residual_bits <= 2.0 + 1e-9);
+        assert!(plain.avg_residual_bits > ext.avg_residual_bits);
+    }
+}

@@ -1,0 +1,258 @@
+//! Gate and register primitives of the cell library.
+//!
+//! The set mirrors what a small 120nm standard-cell library offers and what
+//! scan insertion needs: basic combinational gates, a 2:1 mux, and four
+//! flavours of flip-flop (plain, scan, retention, retention+scan), exactly
+//! the cells used by the paper's methodology (scan-enabled retention
+//! registers, XOR parity trees, mode muxes).
+
+use crate::Logic;
+
+/// The primitive kinds a [`Cell`](crate::Cell) can instantiate.
+///
+/// Input pin order is fixed per kind and documented on each variant; the
+/// builder methods in [`NetlistBuilder`](crate::NetlistBuilder) enforce it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum GateKind {
+    /// Constant logic 0 source. No inputs.
+    TieLo,
+    /// Constant logic 1 source. No inputs.
+    TieHi,
+    /// Buffer. Inputs: `[a]`.
+    Buf,
+    /// Inverter. Inputs: `[a]`.
+    Not,
+    /// 2-input AND. Inputs: `[a, b]`.
+    And2,
+    /// 3-input AND. Inputs: `[a, b, c]`.
+    And3,
+    /// 2-input NAND. Inputs: `[a, b]`.
+    Nand2,
+    /// 2-input OR. Inputs: `[a, b]`.
+    Or2,
+    /// 3-input OR. Inputs: `[a, b, c]`.
+    Or3,
+    /// 2-input NOR. Inputs: `[a, b]`.
+    Nor2,
+    /// 2-input XOR. Inputs: `[a, b]`.
+    Xor2,
+    /// 3-input XOR (parity). Inputs: `[a, b, c]`.
+    Xor3,
+    /// 2-input XNOR. Inputs: `[a, b]`.
+    Xnor2,
+    /// 2:1 multiplexer. Inputs: `[sel, a, b]`; output is `a` when `sel=0`,
+    /// `b` when `sel=1`.
+    Mux2,
+    /// D flip-flop. Inputs: `[d]`.
+    Dff,
+    /// Scan D flip-flop. Inputs: `[d, si, se]`; captures `si` when `se=1`,
+    /// else `d`.
+    Sdff,
+    /// State-retention D flip-flop (paper Fig. 1): a low-Vt master backed
+    /// by an always-on high-Vt retention latch. Inputs: `[d]`. The
+    /// RETAIN/power behaviour is driven by the power-domain model in the
+    /// simulator, not by a netlist pin.
+    Rdff,
+    /// State-retention scan D flip-flop. Inputs: `[d, si, se]`.
+    Rsdff,
+}
+
+impl GateKind {
+    /// All gate kinds, for exhaustive iteration in tests and libraries.
+    pub const ALL: [GateKind; 18] = [
+        GateKind::TieLo,
+        GateKind::TieHi,
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And2,
+        GateKind::And3,
+        GateKind::Nand2,
+        GateKind::Or2,
+        GateKind::Or3,
+        GateKind::Nor2,
+        GateKind::Xor2,
+        GateKind::Xor3,
+        GateKind::Xnor2,
+        GateKind::Mux2,
+        GateKind::Dff,
+        GateKind::Sdff,
+        GateKind::Rdff,
+        GateKind::Rsdff,
+    ];
+
+    /// Number of input pins this kind requires.
+    #[must_use]
+    pub fn input_count(self) -> usize {
+        match self {
+            GateKind::TieLo | GateKind::TieHi => 0,
+            GateKind::Buf | GateKind::Not | GateKind::Dff | GateKind::Rdff => 1,
+            GateKind::And2
+            | GateKind::Nand2
+            | GateKind::Or2
+            | GateKind::Nor2
+            | GateKind::Xor2
+            | GateKind::Xnor2 => 2,
+            GateKind::And3
+            | GateKind::Or3
+            | GateKind::Xor3
+            | GateKind::Mux2
+            | GateKind::Sdff
+            | GateKind::Rsdff => 3,
+        }
+    }
+
+    /// Returns `true` for sequential (clocked) kinds.
+    #[must_use]
+    pub fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            GateKind::Dff | GateKind::Sdff | GateKind::Rdff | GateKind::Rsdff
+        )
+    }
+
+    /// Returns `true` for flip-flops that have a scan port (`si`/`se`).
+    #[must_use]
+    pub fn is_scan(self) -> bool {
+        matches!(self, GateKind::Sdff | GateKind::Rsdff)
+    }
+
+    /// Returns `true` for flip-flops backed by an always-on retention latch.
+    #[must_use]
+    pub fn is_retention(self) -> bool {
+        matches!(self, GateKind::Rdff | GateKind::Rsdff)
+    }
+
+    /// Evaluates a combinational kind over its inputs.
+    ///
+    /// For sequential kinds this computes the *next-state capture value*
+    /// (respecting the scan mux of [`GateKind::Sdff`]/[`GateKind::Rsdff`]),
+    /// which is what a cycle simulator needs at each clock edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Self::input_count`]; the
+    /// netlist builder guarantees matching arity for every constructed cell.
+    #[must_use]
+    pub fn eval(self, inputs: &[Logic]) -> Logic {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "{self:?} expects {} inputs, got {}",
+            self.input_count(),
+            inputs.len()
+        );
+        match self {
+            GateKind::TieLo => Logic::Zero,
+            GateKind::TieHi => Logic::One,
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And2 => inputs[0] & inputs[1],
+            GateKind::And3 => inputs[0] & inputs[1] & inputs[2],
+            GateKind::Nand2 => !(inputs[0] & inputs[1]),
+            GateKind::Or2 => inputs[0] | inputs[1],
+            GateKind::Or3 => inputs[0] | inputs[1] | inputs[2],
+            GateKind::Nor2 => !(inputs[0] | inputs[1]),
+            GateKind::Xor2 => inputs[0] ^ inputs[1],
+            GateKind::Xor3 => inputs[0] ^ inputs[1] ^ inputs[2],
+            GateKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            GateKind::Mux2 => Logic::mux(inputs[0], inputs[1], inputs[2]),
+            GateKind::Dff | GateKind::Rdff => inputs[0],
+            // Scan flops capture `si` when `se`=1, else `d`.
+            // Pin order: [d, si, se].
+            GateKind::Sdff | GateKind::Rsdff => Logic::mux(inputs[2], inputs[0], inputs[1]),
+        }
+    }
+
+    /// Short library-style cell name (e.g. `"ND2"`), used in reports.
+    #[must_use]
+    pub fn cell_name(self) -> &'static str {
+        match self {
+            GateKind::TieLo => "TIE0",
+            GateKind::TieHi => "TIE1",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "INV",
+            GateKind::And2 => "AND2",
+            GateKind::And3 => "AND3",
+            GateKind::Nand2 => "ND2",
+            GateKind::Or2 => "OR2",
+            GateKind::Or3 => "OR3",
+            GateKind::Nor2 => "NR2",
+            GateKind::Xor2 => "XOR2",
+            GateKind::Xor3 => "XOR3",
+            GateKind::Xnor2 => "XNOR2",
+            GateKind::Mux2 => "MX2",
+            GateKind::Dff => "DFF",
+            GateKind::Sdff => "SDFF",
+            GateKind::Rdff => "RDFF",
+            GateKind::Rsdff => "RSDFF",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::{One, Zero};
+
+    #[test]
+    fn arity_is_consistent_with_all() {
+        for kind in GateKind::ALL {
+            let n = kind.input_count();
+            let inputs = vec![Logic::Zero; n];
+            // Must not panic.
+            let _ = kind.eval(&inputs);
+        }
+    }
+
+    #[test]
+    fn basic_truth_tables() {
+        assert_eq!(GateKind::And2.eval(&[One, One]), One);
+        assert_eq!(GateKind::Nand2.eval(&[One, One]), Zero);
+        assert_eq!(GateKind::Or2.eval(&[Zero, Zero]), Zero);
+        assert_eq!(GateKind::Nor2.eval(&[Zero, Zero]), One);
+        assert_eq!(GateKind::Xor2.eval(&[One, Zero]), One);
+        assert_eq!(GateKind::Xnor2.eval(&[One, Zero]), Zero);
+        assert_eq!(GateKind::Xor3.eval(&[One, One, One]), One);
+        assert_eq!(GateKind::Not.eval(&[Zero]), One);
+        assert_eq!(GateKind::Buf.eval(&[One]), One);
+        assert_eq!(GateKind::TieLo.eval(&[]), Zero);
+        assert_eq!(GateKind::TieHi.eval(&[]), One);
+    }
+
+    #[test]
+    fn mux_pin_order_is_sel_a_b() {
+        assert_eq!(GateKind::Mux2.eval(&[Zero, One, Zero]), One);
+        assert_eq!(GateKind::Mux2.eval(&[One, One, Zero]), Zero);
+    }
+
+    #[test]
+    fn scan_flop_capture_respects_scan_enable() {
+        // [d, si, se]
+        assert_eq!(GateKind::Sdff.eval(&[One, Zero, Zero]), One);
+        assert_eq!(GateKind::Sdff.eval(&[One, Zero, One]), Zero);
+        assert_eq!(GateKind::Rsdff.eval(&[Zero, One, One]), One);
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(GateKind::Sdff.is_sequential());
+        assert!(GateKind::Sdff.is_scan());
+        assert!(!GateKind::Sdff.is_retention());
+        assert!(GateKind::Rsdff.is_retention());
+        assert!(GateKind::Rdff.is_retention());
+        assert!(!GateKind::Rdff.is_scan());
+        assert!(!GateKind::Xor2.is_sequential());
+    }
+
+    #[test]
+    fn nand_equals_not_and_for_all_levels() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(
+                    GateKind::Nand2.eval(&[a, b]),
+                    GateKind::Not.eval(&[GateKind::And2.eval(&[a, b])])
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Strongly-typed identifiers for nets and cells.
+//!
+//! Netlists are index-based: a [`NetId`] or [`CellId`] is an index into the
+//! owning [`Netlist`](crate::Netlist)'s internal vectors. Newtypes keep the
+//! two spaces from being confused at compile time (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifier of a net (a single-bit wire) within one [`Netlist`].
+///
+/// `NetId`s are only meaningful relative to the netlist that issued them.
+///
+/// [`Netlist`]: crate::Netlist
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_netlist::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.input("a");
+/// let y = b.not(a);
+/// assert_ne!(a, y);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NetId(pub(crate) u32);
+
+/// Identifier of a cell (gate or register instance) within one
+/// [`Netlist`](crate::Netlist).
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_netlist::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new("t");
+/// let d = b.input("d");
+/// let (q, ff) = b.dff("r0", d);
+/// let nl = b.finish().unwrap();
+/// assert_eq!(nl.cell(ff).output(), q);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct CellId(pub(crate) u32);
+
+impl NetId {
+    /// Returns the raw index of this net.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NetId` from a raw index.
+    ///
+    /// Intended for simulators and passes that store per-net side tables;
+    /// an id fabricated for one netlist must not be used with another.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NetId(u32::try_from(index).expect("net index exceeds u32 range"))
+    }
+}
+
+impl CellId {
+    /// Returns the raw index of this cell.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `CellId` from a raw index.
+    ///
+    /// Intended for simulators and passes that store per-cell side tables;
+    /// an id fabricated for one netlist must not be used with another.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        CellId(u32::try_from(index).expect("cell index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_net_id() {
+        let id = NetId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn roundtrip_cell_id() {
+        let id = CellId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "c7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NetId::from_index(1) < NetId::from_index(2));
+        assert!(CellId::from_index(0) < CellId::from_index(9));
+    }
+}

@@ -1,0 +1,89 @@
+//! Netlist (de)serialization.
+//!
+//! The whole data model derives serde, so designs — including fully
+//! synthesized protected designs — round-trip through JSON: useful for
+//! caching synthesis results, diffing netlists, and feeding external
+//! tooling.
+
+use crate::{Netlist, NetlistError};
+
+impl Netlist {
+    /// Serializes the netlist (including its validation state) to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Serialize`] if encoding fails (practically
+    /// unreachable for this data model).
+    pub fn to_json(&self) -> Result<String, NetlistError> {
+        serde_json::to_string(self).map_err(|e| NetlistError::Serialize {
+            message: e.to_string(),
+        })
+    }
+
+    /// Deserializes a netlist from JSON and re-validates it, so a
+    /// tampered or hand-edited document cannot smuggle in an
+    /// inconsistent structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Serialize`] for malformed JSON, or the
+    /// usual validation errors for structurally broken netlists.
+    pub fn from_json(json: &str) -> Result<Self, NetlistError> {
+        let mut nl: Netlist = serde_json::from_str(json).map_err(|e| NetlistError::Serialize {
+            message: e.to_string(),
+        })?;
+        nl.revalidate()?;
+        Ok(nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("io");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.xor2(a, c);
+        let (q, _) = b.sdff("r", x, a, c);
+        b.output("q", q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let nl = sample();
+        let json = nl.to_json().unwrap();
+        let back = Netlist::from_json(&json).unwrap();
+        assert_eq!(back.name(), nl.name());
+        assert_eq!(back.cell_count(), nl.cell_count());
+        assert_eq!(back.net_count(), nl.net_count());
+        assert_eq!(back.input_ports(), nl.input_ports());
+        assert_eq!(back.output_ports(), nl.output_ports());
+        assert_eq!(back.topo_order(), nl.topo_order());
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        let err = Netlist::from_json("{not json").unwrap_err();
+        assert!(matches!(err, NetlistError::Serialize { .. }), "{err}");
+    }
+
+    #[test]
+    fn structurally_broken_json_is_rejected() {
+        // Serialize, then surgically orphan a net by giving a cell a
+        // duplicate output (decode succeeds, revalidation must fail).
+        let nl = sample();
+        let mut v: serde_json::Value = serde_json::from_str(&nl.to_json().unwrap()).unwrap();
+        // Point the second cell's output at the first cell's output net.
+        let cells = v["cells"].as_array_mut().unwrap();
+        if cells.len() >= 2 {
+            let first_out = cells[0]["output"].clone();
+            cells[1]["output"] = first_out;
+        }
+        let doctored = serde_json::to_string(&v).unwrap();
+        assert!(Netlist::from_json(&doctored).is_err());
+    }
+}

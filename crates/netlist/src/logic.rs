@@ -1,0 +1,238 @@
+//! Three-valued logic used by the netlist evaluators.
+//!
+//! The simulator is a 3-state simulator: `0`, `1` and `X` (unknown).
+//! `X` models uninitialized registers and — crucially for this project —
+//! the contents of a powered-off domain: when a power-gated master
+//! flip-flop loses its supply, its value becomes [`Logic::X`] until it is
+//! restored from the retention latch.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A three-valued logic level: `0`, `1` or unknown (`X`).
+///
+/// Boolean operators follow standard ternary (Kleene) semantics:
+/// `0 & X = 0`, `1 | X = 1`, `X ^ anything-known = X`, etc.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_netlist::Logic;
+///
+/// assert_eq!(Logic::Zero & Logic::X, Logic::Zero);
+/// assert_eq!(Logic::One | Logic::X, Logic::One);
+/// assert_eq!(Logic::One ^ Logic::X, Logic::X);
+/// assert_eq!(!Logic::X, Logic::X);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub enum Logic {
+    /// Logic low.
+    #[default]
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialized / powered-off.
+    X,
+}
+
+impl Logic {
+    /// All three levels, in a fixed order. Useful for exhaustive tests.
+    pub const ALL: [Logic; 3] = [Logic::Zero, Logic::One, Logic::X];
+
+    /// Returns `true` if the level is known (`0` or `1`).
+    #[must_use]
+    pub fn is_known(self) -> bool {
+        !matches!(self, Logic::X)
+    }
+
+    /// Converts to `bool`, returning `None` for [`Logic::X`].
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// Converts to `bool`, mapping [`Logic::X`] to `false`.
+    ///
+    /// Use only where an X has already been ruled out or where a
+    /// pessimistic default is acceptable (e.g. toggle counting).
+    #[must_use]
+    pub fn to_bool_lossy(self) -> bool {
+        matches!(self, Logic::One)
+    }
+
+    /// Multiplexer with ternary select: returns `a` when `sel` is `0`,
+    /// `b` when `sel` is `1`, and `X` when `sel` is `X` unless both data
+    /// inputs agree on a known value.
+    #[must_use]
+    pub fn mux(sel: Logic, a: Logic, b: Logic) -> Logic {
+        match sel {
+            Logic::Zero => a,
+            Logic::One => b,
+            Logic::X => {
+                if a == b && a.is_known() {
+                    a
+                } else {
+                    Logic::X
+                }
+            }
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+
+    fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+}
+
+impl BitAnd for Logic {
+    type Output = Logic;
+
+    fn bitand(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitOr for Logic {
+    type Output = Logic;
+
+    fn bitor(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitXor for Logic {
+    type Output = Logic;
+
+    fn bitxor(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::X, _) | (_, Logic::X) => Logic::X,
+            (a, b) => Logic::from(a != b),
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Converts a slice of booleans into logic levels.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_netlist::{logic_vec, Logic};
+///
+/// assert_eq!(logic_vec(&[true, false]), vec![Logic::One, Logic::Zero]);
+/// ```
+#[must_use]
+pub fn logic_vec(bits: &[bool]) -> Vec<Logic> {
+    bits.iter().map(|&b| Logic::from(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_matches_kleene_tables() {
+        use Logic::{One, X, Zero};
+        assert_eq!(Zero & Zero, Zero);
+        assert_eq!(Zero & One, Zero);
+        assert_eq!(One & One, One);
+        assert_eq!(X & Zero, Zero);
+        assert_eq!(X & One, X);
+        assert_eq!(X & X, X);
+    }
+
+    #[test]
+    fn or_matches_kleene_tables() {
+        use Logic::{One, X, Zero};
+        assert_eq!(Zero | Zero, Zero);
+        assert_eq!(Zero | One, One);
+        assert_eq!(One | One, One);
+        assert_eq!(X | One, One);
+        assert_eq!(X | Zero, X);
+        assert_eq!(X | X, X);
+    }
+
+    #[test]
+    fn xor_is_strict_in_x() {
+        use Logic::{One, X, Zero};
+        assert_eq!(Zero ^ One, One);
+        assert_eq!(One ^ One, Zero);
+        assert_eq!(X ^ Zero, X);
+        assert_eq!(One ^ X, X);
+    }
+
+    #[test]
+    fn not_inverts_known_and_keeps_x() {
+        assert_eq!(!Logic::Zero, Logic::One);
+        assert_eq!(!Logic::One, Logic::Zero);
+        assert_eq!(!Logic::X, Logic::X);
+    }
+
+    #[test]
+    fn demorgan_holds_for_all_levels() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(!(a & b), !a | !b, "a={a} b={b}");
+                assert_eq!(!(a | b), !a & !b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects_and_optimizes_agreeing_inputs() {
+        use Logic::{One, X, Zero};
+        assert_eq!(Logic::mux(Zero, One, Zero), One);
+        assert_eq!(Logic::mux(One, One, Zero), Zero);
+        assert_eq!(Logic::mux(X, One, One), One);
+        assert_eq!(Logic::mux(X, One, Zero), X);
+        assert_eq!(Logic::mux(X, X, X), X);
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(Logic::from(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert!(!Logic::X.to_bool_lossy());
+    }
+}

@@ -1,0 +1,252 @@
+//! The conventional power-gating controller — paper Fig. 3(a).
+//!
+//! Active -> (sleep=1) save state -> switch off -> sleep ->
+//! (sleep=0) switch on, wait for the rail -> restore state -> active.
+//!
+//! The proposed controller of Fig. 3(b) (with encode and decode/check
+//! sequences wrapped around this one) lives in `scanguard-core`; both are
+//! cycle-stepped FSMs so a testbench can drive a simulator from their
+//! outputs.
+
+/// Phases of the conventional controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PgPhase {
+    /// Normal operation.
+    Active,
+    /// RETAIN raised; masters saved into retention latches.
+    Save,
+    /// Power switches opening.
+    PowerDown,
+    /// Domain gated off.
+    Sleep,
+    /// Power switches closed; waiting for the rail to stabilise.
+    PowerUp,
+    /// RETAIN dropped; retention latches restored into masters.
+    Restore,
+}
+
+/// Per-cycle control outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PgOutputs {
+    /// Level of the RETAIN control this cycle.
+    pub retain: bool,
+    /// Whether the domain's switches conduct this cycle.
+    pub power_on: bool,
+    /// `true` only in [`PgPhase::Active`]: functional state is valid.
+    pub state_valid: bool,
+}
+
+/// Cycle counts of the timed phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ControllerTiming {
+    /// Cycles spent in [`PgPhase::Save`].
+    pub save_cycles: u64,
+    /// Cycles spent in [`PgPhase::PowerUp`] waiting for the rail
+    /// (derive from [`RushTransient::settle_cycles`] or
+    /// [`WakeEvent::wake_cycles`]).
+    ///
+    /// [`RushTransient::settle_cycles`]: crate::RushTransient::settle_cycles
+    /// [`WakeEvent::wake_cycles`]: crate::WakeEvent::wake_cycles
+    pub wake_settle_cycles: u64,
+}
+
+impl Default for ControllerTiming {
+    fn default() -> Self {
+        ControllerTiming {
+            save_cycles: 1,
+            wake_settle_cycles: 4,
+        }
+    }
+}
+
+/// The Fig. 3(a) FSM.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_power::{ConventionalController, ControllerTiming, PgPhase};
+///
+/// let mut pg = ConventionalController::new(ControllerTiming::default());
+/// assert_eq!(pg.phase(), PgPhase::Active);
+/// let out = pg.tick(true); // request sleep
+/// assert!(out.retain, "save starts by raising RETAIN");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ConventionalController {
+    phase: PgPhase,
+    counter: u64,
+    timing: ControllerTiming,
+}
+
+impl ConventionalController {
+    /// Builds the controller in [`PgPhase::Active`].
+    #[must_use]
+    pub fn new(timing: ControllerTiming) -> Self {
+        ConventionalController {
+            phase: PgPhase::Active,
+            counter: 0,
+            timing,
+        }
+    }
+
+    /// Current phase.
+    #[must_use]
+    pub fn phase(&self) -> PgPhase {
+        self.phase
+    }
+
+    /// Advances one cycle given the external `sleep` request and returns
+    /// the control levels for the new cycle.
+    pub fn tick(&mut self, sleep: bool) -> PgOutputs {
+        self.phase = match self.phase {
+            PgPhase::Active => {
+                if sleep {
+                    self.counter = 0;
+                    PgPhase::Save
+                } else {
+                    PgPhase::Active
+                }
+            }
+            PgPhase::Save => {
+                self.counter += 1;
+                if self.counter >= self.timing.save_cycles {
+                    PgPhase::PowerDown
+                } else {
+                    PgPhase::Save
+                }
+            }
+            PgPhase::PowerDown => PgPhase::Sleep,
+            PgPhase::Sleep => {
+                if sleep {
+                    PgPhase::Sleep
+                } else {
+                    self.counter = 0;
+                    PgPhase::PowerUp
+                }
+            }
+            PgPhase::PowerUp => {
+                self.counter += 1;
+                if self.counter >= self.timing.wake_settle_cycles {
+                    PgPhase::Restore
+                } else {
+                    PgPhase::PowerUp
+                }
+            }
+            PgPhase::Restore => PgPhase::Active,
+        };
+        self.outputs()
+    }
+
+    /// Control levels of the current phase.
+    #[must_use]
+    pub fn outputs(&self) -> PgOutputs {
+        match self.phase {
+            PgPhase::Active => PgOutputs {
+                retain: false,
+                power_on: true,
+                state_valid: true,
+            },
+            PgPhase::Save => PgOutputs {
+                retain: true,
+                power_on: true,
+                state_valid: false,
+            },
+            PgPhase::PowerDown | PgPhase::Sleep => PgOutputs {
+                retain: true,
+                power_on: false,
+                state_valid: false,
+            },
+            PgPhase::PowerUp => PgOutputs {
+                retain: true,
+                power_on: true,
+                state_valid: false,
+            },
+            PgPhase::Restore => PgOutputs {
+                retain: false,
+                power_on: true,
+                state_valid: false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until(pg: &mut ConventionalController, sleep: bool, phase: PgPhase, max: u32) {
+        for _ in 0..max {
+            if pg.phase() == phase {
+                return;
+            }
+            pg.tick(sleep);
+        }
+        panic!("never reached {phase:?} (stuck at {:?})", pg.phase());
+    }
+
+    #[test]
+    fn full_sleep_wake_cycle_visits_all_phases() {
+        let mut pg = ConventionalController::new(ControllerTiming {
+            save_cycles: 2,
+            wake_settle_cycles: 3,
+        });
+        assert_eq!(pg.phase(), PgPhase::Active);
+        run_until(&mut pg, true, PgPhase::Sleep, 10);
+        // Stays asleep while requested.
+        pg.tick(true);
+        assert_eq!(pg.phase(), PgPhase::Sleep);
+        run_until(&mut pg, false, PgPhase::Active, 10);
+    }
+
+    #[test]
+    fn retain_envelope_covers_the_power_gap() {
+        // RETAIN must be high strictly before power drops and until after
+        // power returns — otherwise state is lost.
+        let mut pg = ConventionalController::new(ControllerTiming::default());
+        let mut saw_power_off = false;
+        let mut sleep = true;
+        for cycle in 0..40 {
+            if cycle > 20 {
+                sleep = false;
+            }
+            let out = pg.tick(sleep);
+            if !out.power_on {
+                saw_power_off = true;
+                assert!(out.retain, "power off while RETAIN low loses state");
+            }
+        }
+        assert!(saw_power_off);
+        assert_eq!(pg.phase(), PgPhase::Active);
+    }
+
+    #[test]
+    fn wake_settle_is_respected() {
+        let mut pg = ConventionalController::new(ControllerTiming {
+            save_cycles: 1,
+            wake_settle_cycles: 5,
+        });
+        run_until(&mut pg, true, PgPhase::Sleep, 10);
+        let mut settle = 0;
+        loop {
+            let out = pg.tick(false);
+            if pg.phase() == PgPhase::PowerUp {
+                settle += 1;
+                assert!(out.power_on && out.retain);
+            }
+            if pg.phase() == PgPhase::Restore {
+                break;
+            }
+            assert!(settle < 20);
+        }
+        assert_eq!(settle, 5);
+    }
+
+    #[test]
+    fn active_is_the_only_state_valid_phase() {
+        let pg = ConventionalController::new(ControllerTiming::default());
+        assert!(pg.outputs().state_valid);
+        let mut pg2 = pg.clone();
+        pg2.tick(true);
+        assert!(!pg2.outputs().state_valid);
+    }
+}

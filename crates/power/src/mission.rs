@@ -1,0 +1,221 @@
+//! Mission-level energy accounting: does power gating — with the
+//! protection overhead the paper's methodology adds — actually save
+//! energy over a realistic duty cycle?
+//!
+//! Power gating trades leakage savings during idle periods against the
+//! energy spent entering and leaving sleep (state save/restore, and for
+//! a protected design the encode and decode passes). This module folds
+//! those into per-mission totals, the policy-level complement of
+//! `scanguard_core::break_even`.
+
+/// An alternating active/idle workload.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DutyCycle {
+    /// Seconds of activity per episode.
+    pub active_s: f64,
+    /// Seconds of idleness per episode.
+    pub idle_s: f64,
+    /// Number of episodes in the mission.
+    pub episodes: u64,
+}
+
+impl DutyCycle {
+    /// Total mission time in seconds.
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        (self.active_s + self.idle_s) * self.episodes as f64
+    }
+
+    /// Fraction of time spent idle.
+    #[must_use]
+    pub fn idle_fraction(&self) -> f64 {
+        if self.active_s + self.idle_s == 0.0 {
+            return 0.0;
+        }
+        self.idle_s / (self.active_s + self.idle_s)
+    }
+}
+
+/// Static parameters of the gated design.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GatingCosts {
+    /// Leakage while powered, nW.
+    pub active_leakage_nw: f64,
+    /// Leakage while gated (always-on remainder), nW.
+    pub sleep_leakage_nw: f64,
+    /// Energy to enter + leave sleep *without* monitoring (retention
+    /// save/restore, switch drive), nJ per episode.
+    pub transition_nj: f64,
+    /// Additional monitoring energy (encode + decode), nJ per episode;
+    /// zero for an unprotected design.
+    pub protection_nj: f64,
+}
+
+/// Mission energy totals, in microjoules.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MissionReport {
+    /// Leakage energy with the domain always on.
+    pub no_gating_uj: f64,
+    /// With gating during idle periods (including transition and
+    /// protection overheads).
+    pub gating_uj: f64,
+    /// Net savings, percent of the ungated energy (negative when gating
+    /// loses).
+    pub savings_pct: f64,
+    /// Idle seconds per episode below which gating costs energy.
+    pub break_even_idle_s: f64,
+}
+
+/// Computes mission leakage-energy totals for a duty cycle.
+///
+/// Only leakage and gating overheads are compared — dynamic computation
+/// energy is identical in both scenarios and cancels.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_power::{mission_energy, DutyCycle, GatingCosts};
+///
+/// let costs = GatingCosts {
+///     active_leakage_nw: 2600.0,
+///     sleep_leakage_nw: 300.0,
+///     transition_nj: 0.5,
+///     protection_nj: 2.3,
+/// };
+/// let long_idle = mission_energy(
+///     &DutyCycle { active_s: 1e-3, idle_s: 10e-3, episodes: 1000 },
+///     &costs,
+/// );
+/// assert!(long_idle.savings_pct > 50.0);
+///
+/// let short_idle = mission_energy(
+///     &DutyCycle { active_s: 1e-3, idle_s: 100e-6, episodes: 1000 },
+///     &costs,
+/// );
+/// assert!(short_idle.savings_pct < long_idle.savings_pct);
+/// ```
+#[must_use]
+pub fn mission_energy(duty: &DutyCycle, costs: &GatingCosts) -> MissionReport {
+    let episodes = duty.episodes as f64;
+    // nW x s = nJ.
+    let no_gating_nj = costs.active_leakage_nw * duty.total_s();
+    let gating_nj = costs.active_leakage_nw * duty.active_s * episodes
+        + costs.sleep_leakage_nw * duty.idle_s * episodes
+        + (costs.transition_nj + costs.protection_nj) * episodes;
+    let saved_per_idle_nw = (costs.active_leakage_nw - costs.sleep_leakage_nw).max(1e-12);
+    MissionReport {
+        no_gating_uj: no_gating_nj / 1000.0,
+        gating_uj: gating_nj / 1000.0,
+        savings_pct: (no_gating_nj - gating_nj) / no_gating_nj.max(1e-12) * 100.0,
+        break_even_idle_s: (costs.transition_nj + costs.protection_nj) / saved_per_idle_nw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> GatingCosts {
+        GatingCosts {
+            active_leakage_nw: 2600.0,
+            sleep_leakage_nw: 300.0,
+            transition_nj: 0.5,
+            protection_nj: 2.3,
+        }
+    }
+
+    #[test]
+    fn long_idle_wins_big() {
+        let r = mission_energy(
+            &DutyCycle {
+                active_s: 1e-3,
+                idle_s: 100e-3,
+                episodes: 100,
+            },
+            &costs(),
+        );
+        assert!(r.savings_pct > 80.0, "{r:?}");
+        assert!(r.gating_uj < r.no_gating_uj);
+    }
+
+    #[test]
+    fn very_short_idle_loses() {
+        let r = mission_energy(
+            &DutyCycle {
+                active_s: 1e-3,
+                idle_s: 100e-9, // 100 ns naps
+                episodes: 100,
+            },
+            &costs(),
+        );
+        assert!(r.savings_pct < 0.0, "gating 100 ns naps must lose: {r:?}");
+    }
+
+    #[test]
+    fn break_even_is_where_savings_cross_zero() {
+        let c = costs();
+        let be = mission_energy(
+            &DutyCycle {
+                active_s: 0.0,
+                idle_s: 1.0,
+                episodes: 1,
+            },
+            &c,
+        )
+        .break_even_idle_s;
+        let just_below = mission_energy(
+            &DutyCycle {
+                active_s: 0.0,
+                idle_s: be * 0.9,
+                episodes: 10,
+            },
+            &c,
+        );
+        let just_above = mission_energy(
+            &DutyCycle {
+                active_s: 0.0,
+                idle_s: be * 1.1,
+                episodes: 10,
+            },
+            &c,
+        );
+        assert!(just_below.savings_pct < 0.0);
+        assert!(just_above.savings_pct > 0.0);
+    }
+
+    #[test]
+    fn protection_energy_raises_the_break_even() {
+        let unprotected = GatingCosts {
+            protection_nj: 0.0,
+            ..costs()
+        };
+        let a = mission_energy(
+            &DutyCycle {
+                active_s: 0.0,
+                idle_s: 1.0,
+                episodes: 1,
+            },
+            &unprotected,
+        );
+        let b = mission_energy(
+            &DutyCycle {
+                active_s: 0.0,
+                idle_s: 1.0,
+                episodes: 1,
+            },
+            &costs(),
+        );
+        assert!(b.break_even_idle_s > a.break_even_idle_s);
+    }
+
+    #[test]
+    fn duty_cycle_helpers() {
+        let d = DutyCycle {
+            active_s: 1.0,
+            idle_s: 3.0,
+            episodes: 5,
+        };
+        assert!((d.total_s() - 20.0).abs() < 1e-12);
+        assert!((d.idle_fraction() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,721 @@
+//! The levelized cycle simulator.
+
+use crate::{Domain, DomainId, EnergyWindow};
+use scanguard_netlist::{CellId, CellLibrary, Logic, NetId, Netlist, NetlistError};
+
+/// A cycle-accurate, zero-delay, 3-state simulator over a validated
+/// [`Netlist`], with power domains, retention flip-flops and
+/// activity-based energy accounting.
+///
+/// One [`step`](Simulator::step) models one clock cycle: combinational
+/// settling, flip-flop capture (respecting scan muxes and domain power),
+/// commit, and a post-edge settle. Energy is accumulated per committed
+/// transition using the [`CellLibrary`]'s per-cell figures; see
+/// [`take_energy`](Simulator::take_energy).
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_netlist::{CellLibrary, Logic, NetlistBuilder};
+/// use scanguard_sim::Simulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A 1-bit register.
+/// let mut b = NetlistBuilder::new("reg");
+/// let d = b.input("d");
+/// let (q, ff) = b.dff("r", d);
+/// b.output("q", q);
+/// let nl = b.finish()?;
+///
+/// let lib = CellLibrary::st120nm();
+/// let mut sim = Simulator::new(&nl, &lib);
+/// sim.set_port("d", Logic::One)?;
+/// sim.step();
+/// assert_eq!(sim.ff_value(ff), Logic::One);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    lib: &'a CellLibrary,
+    values: Vec<Logic>,
+    /// Retention-latch contents, indexed by cell (meaningful only for
+    /// retention flip-flops).
+    retention: Vec<Logic>,
+    /// Staging buffer for flip-flop capture.
+    next_ff: Vec<Logic>,
+    domain_of: Vec<DomainId>,
+    domains: Vec<Domain>,
+    /// Nets forced to a constant (stuck-at fault injection). Kept as a
+    /// tiny list — fault simulation activates one or two at a time.
+    stuck: Vec<(NetId, Logic)>,
+    dynamic_pj: f64,
+    cycles: u64,
+    toggles: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator. All nets start at [`Logic::X`]; initialize
+    /// registers via [`force_ff`](Self::force_ff), a reset sequence, or a
+    /// scan load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has pending edits (see
+    /// [`Netlist::revalidate`]).
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, lib: &'a CellLibrary) -> Self {
+        let _ = netlist.topo_order(); // assert validated
+        Simulator {
+            netlist,
+            lib,
+            values: vec![Logic::X; netlist.net_count()],
+            retention: vec![Logic::X; netlist.cell_count()],
+            next_ff: vec![Logic::X; netlist.cell_count()],
+            domain_of: vec![DomainId::ALWAYS_ON; netlist.cell_count()],
+            domains: vec![Domain::new("always_on", true)],
+            stuck: Vec::new(),
+            dynamic_pj: 0.0,
+            cycles: 0,
+            toggles: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (manufacturing-test fault simulation)
+    // ------------------------------------------------------------------
+
+    /// Forces a net to a constant level — the classic stuck-at fault
+    /// model. The net's driver still evaluates (and burns energy), but
+    /// downstream logic sees the stuck level. Multiple faults may be
+    /// active; [`clear_stuck`](Self::clear_stuck) removes them.
+    pub fn set_stuck(&mut self, net: NetId, level: Logic) {
+        self.stuck.retain(|&(n, _)| n != net);
+        self.stuck.push((net, level));
+        self.values[net.index()] = level;
+    }
+
+    /// Removes all stuck-at forces.
+    pub fn clear_stuck(&mut self) {
+        self.stuck.clear();
+    }
+
+    fn stuck_level(&self, net: NetId) -> Option<Logic> {
+        self.stuck
+            .iter()
+            .find(|&&(n, _)| n == net)
+            .map(|&(_, v)| v)
+    }
+
+    /// The simulated netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    // ------------------------------------------------------------------
+    // Power domains
+    // ------------------------------------------------------------------
+
+    /// Creates a new power domain (initially powered).
+    pub fn define_domain(&mut self, name: &str) -> DomainId {
+        let id = DomainId(u32::try_from(self.domains.len()).expect("domain count fits u32"));
+        self.domains.push(Domain::new(name, true));
+        id
+    }
+
+    /// Assigns a cell to a domain (cells default to
+    /// [`DomainId::ALWAYS_ON`]).
+    pub fn assign_domain(&mut self, cell: CellId, domain: DomainId) {
+        self.domain_of[cell.index()] = domain;
+    }
+
+    /// Assigns every cell in `cells` to `domain`.
+    pub fn assign_domain_all<I: IntoIterator<Item = CellId>>(&mut self, cells: I, domain: DomainId) {
+        for c in cells {
+            self.assign_domain(c, domain);
+        }
+    }
+
+    /// Reads a domain's state.
+    #[must_use]
+    pub fn domain(&self, id: DomainId) -> &Domain {
+        &self.domains[id.index()]
+    }
+
+    /// The domain a cell belongs to.
+    #[must_use]
+    pub fn domain_of(&self, cell: CellId) -> DomainId {
+        self.domain_of[cell.index()]
+    }
+
+    /// Switches a domain's power. Powering **off** immediately corrupts
+    /// the master stage of every flip-flop in the domain to [`Logic::X`]
+    /// (retention latches are unaffected — they sit in the always-on
+    /// rail). Powering **on** leaves masters at `X` until the retention
+    /// state is restored via [`set_retain`](Self::set_retain).
+    pub fn set_power(&mut self, id: DomainId, on: bool) {
+        if self.domains[id.index()].powered == on {
+            return;
+        }
+        self.domains[id.index()].powered = on;
+        if !on {
+            for (cell_id, cell) in self.netlist.cells() {
+                if self.domain_of[cell_id.index()] == id && cell.kind().is_sequential() {
+                    self.values[cell.output().index()] = Logic::X;
+                }
+            }
+        }
+    }
+
+    /// Gates or ungates a domain's clock tree. With the clock gated, a
+    /// powered domain's registers hold their state and draw no clock
+    /// energy — how a real power-gating controller freezes the circuit
+    /// around the save/restore sequences.
+    pub fn set_clock_enable(&mut self, id: DomainId, enable: bool) {
+        self.domains[id.index()].clock_en = enable;
+    }
+
+    /// Drives the RETAIN control of a domain's retention flip-flops
+    /// (paper Fig. 1):
+    ///
+    /// * a `0 -> 1` transition saves each master into its slave latch;
+    /// * a `1 -> 0` transition restores each slave into its master
+    ///   (only meaningful while the domain is powered).
+    pub fn set_retain(&mut self, id: DomainId, retain: bool) {
+        let prev = self.domains[id.index()].retain;
+        if prev == retain {
+            return;
+        }
+        self.domains[id.index()].retain = retain;
+        let powered = self.domains[id.index()].powered;
+        for (cell_id, cell) in self.netlist.cells() {
+            if self.domain_of[cell_id.index()] != id || !cell.kind().is_retention() {
+                continue;
+            }
+            if retain {
+                // Save master -> slave.
+                self.retention[cell_id.index()] = self.values[cell.output().index()];
+            } else if powered {
+                // Restore slave -> master.
+                self.values[cell.output().index()] = self.retention[cell_id.index()];
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Value access
+    // ------------------------------------------------------------------
+
+    /// Sets a primary input net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is driven by a cell (not a primary input).
+    pub fn set_net(&mut self, net: NetId, value: Logic) {
+        assert!(
+            self.netlist.driver(net).is_none(),
+            "net {net} is cell-driven; only primary inputs can be set"
+        );
+        self.values[net.index()] = value;
+    }
+
+    /// Sets a primary input port by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] for unknown names.
+    pub fn set_port(&mut self, name: &str, value: Logic) -> Result<(), NetlistError> {
+        let net = self.netlist.port(name)?;
+        self.set_net(net, value);
+        Ok(())
+    }
+
+    /// Convenience boolean variant of [`set_port`](Self::set_port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] for unknown names.
+    pub fn set_port_bool(&mut self, name: &str, value: bool) -> Result<(), NetlistError> {
+        self.set_port(name, Logic::from(value))
+    }
+
+    /// Current value of a net (meaningful after
+    /// [`settle`](Self::settle) or [`step`](Self::step)).
+    #[must_use]
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// Current value of a port by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] for unknown names.
+    pub fn port_value(&self, name: &str) -> Result<Logic, NetlistError> {
+        Ok(self.value(self.netlist.port(name)?))
+    }
+
+    /// Output (master stage) value of a flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not sequential.
+    #[must_use]
+    pub fn ff_value(&self, cell: CellId) -> Logic {
+        let c = self.netlist.cell(cell);
+        assert!(c.kind().is_sequential(), "cell {cell} is not a flip-flop");
+        self.values[c.output().index()]
+    }
+
+    /// Forces a flip-flop's master output (initialization, fault
+    /// injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not sequential.
+    pub fn force_ff(&mut self, cell: CellId, value: Logic) {
+        let c = self.netlist.cell(cell);
+        assert!(c.kind().is_sequential(), "cell {cell} is not a flip-flop");
+        self.values[c.output().index()] = value;
+    }
+
+    /// Retention-latch contents of a retention flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not a retention flip-flop.
+    #[must_use]
+    pub fn retention_value(&self, cell: CellId) -> Logic {
+        assert!(
+            self.netlist.cell(cell).kind().is_retention(),
+            "cell {cell} has no retention latch"
+        );
+        self.retention[cell.index()]
+    }
+
+    /// Forces a retention latch (used by the rush-current upset model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not a retention flip-flop.
+    pub fn force_retention(&mut self, cell: CellId, value: Logic) {
+        assert!(
+            self.netlist.cell(cell).kind().is_retention(),
+            "cell {cell} has no retention latch"
+        );
+        self.retention[cell.index()] = value;
+    }
+
+    /// Inverts a retention latch (an upset). `X` stays `X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not a retention flip-flop.
+    pub fn flip_retention(&mut self, cell: CellId) {
+        assert!(
+            self.netlist.cell(cell).kind().is_retention(),
+            "cell {cell} has no retention latch"
+        );
+        self.retention[cell.index()] = !self.retention[cell.index()];
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation
+    // ------------------------------------------------------------------
+
+    /// Settles the combinational logic for the current inputs and
+    /// register values, accumulating switching energy for every net that
+    /// changes.
+    pub fn settle(&mut self) {
+        let mut buf = [Logic::X; 3];
+        for &cell_id in self.netlist.topo_order() {
+            let cell = self.netlist.cell(cell_id);
+            let n = cell.inputs().len();
+            for (slot, &inp) in buf.iter_mut().zip(cell.inputs()) {
+                *slot = self.values[inp.index()];
+            }
+            let powered = self.domains[self.domain_of[cell_id.index()].index()].powered;
+            let mut new = if powered {
+                cell.kind().eval(&buf[..n])
+            } else {
+                Logic::X
+            };
+            if !self.stuck.is_empty() {
+                if let Some(level) = self.stuck_level(cell.output()) {
+                    new = level;
+                }
+            }
+            let out = cell.output().index();
+            let old = self.values[out];
+            if old != new {
+                if old.is_known() && new.is_known() {
+                    self.toggles += 1;
+                    self.dynamic_pj += self.lib.params(cell.kind()).toggle_energy_pj;
+                }
+                self.values[out] = new;
+            }
+        }
+    }
+
+    /// Advances one clock cycle: settle, capture, commit, settle.
+    pub fn step(&mut self) {
+        self.settle();
+        // Capture.
+        let mut buf = [Logic::X; 3];
+        for (cell_id, cell) in self.netlist.cells() {
+            if !cell.kind().is_sequential() {
+                continue;
+            }
+            let dom = &self.domains[self.domain_of[cell_id.index()].index()];
+            let next = if !dom.powered {
+                Logic::X
+            } else if !dom.clock_en {
+                // Clock gated: hold.
+                self.values[cell.output().index()]
+            } else {
+                let n = cell.inputs().len();
+                for (slot, &inp) in buf.iter_mut().zip(cell.inputs()) {
+                    *slot = self.values[inp.index()];
+                }
+                cell.kind().eval(&buf[..n])
+            };
+            self.next_ff[cell_id.index()] = next;
+        }
+        // Commit + clock energy.
+        for (cell_id, cell) in self.netlist.cells() {
+            if !cell.kind().is_sequential() {
+                continue;
+            }
+            let idx = cell_id.index();
+            let dom = &self.domains[self.domain_of[idx].index()];
+            let params = self.lib.params(cell.kind());
+            if dom.powered && dom.clock_en {
+                self.dynamic_pj += params.clock_energy_pj;
+            }
+            let out = cell.output().index();
+            let old = self.values[out];
+            let mut new = self.next_ff[idx];
+            if !self.stuck.is_empty() {
+                if let Some(level) = self.stuck_level(cell.output()) {
+                    new = level;
+                }
+            }
+            if old != new {
+                if old.is_known() && new.is_known() {
+                    self.toggles += 1;
+                    self.dynamic_pj += params.toggle_energy_pj;
+                }
+                self.values[out] = new;
+            }
+        }
+        self.cycles += 1;
+        self.settle();
+    }
+
+    /// Advances `n` clock cycles.
+    pub fn step_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Energy and leakage
+    // ------------------------------------------------------------------
+
+    /// Total clock cycles simulated so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Returns the energy window accumulated since the last call (or
+    /// construction) and resets the counters — use one window per
+    /// controller phase to split encode/decode energy as Tables I/II do.
+    pub fn take_energy(&mut self) -> EnergyWindow {
+        let w = EnergyWindow {
+            dynamic_pj: self.dynamic_pj,
+            cycles: self.cycles,
+            toggles: self.toggles,
+        };
+        self.dynamic_pj = 0.0;
+        self.cycles = 0;
+        self.toggles = 0;
+        w
+    }
+
+    /// Instantaneous leakage in nW for the current power states: powered
+    /// cells leak at their active figure, gated retention flip-flops leak
+    /// only through their always-on slave latch, and everything else in a
+    /// gated domain leaks nothing.
+    #[must_use]
+    pub fn leakage_nw(&self) -> f64 {
+        let mut total = 0.0;
+        for (cell_id, cell) in self.netlist.cells() {
+            let p = self.lib.params(cell.kind());
+            if self.domains[self.domain_of[cell_id.index()].index()].powered {
+                total += p.leakage_nw;
+            } else {
+                total += p.sleep_leakage_nw;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanguard_netlist::NetlistBuilder;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::st120nm()
+    }
+
+    /// 2-bit shift register with an XOR output.
+    fn shifter() -> (Netlist, CellId, CellId) {
+        let mut b = NetlistBuilder::new("shift2");
+        let d = b.input("d");
+        let (q0, f0) = b.dff("s0", d);
+        let (q1, f1) = b.dff("s1", q0);
+        let y = b.xor2(q0, q1);
+        b.output("y", y);
+        b.output("q1", q1);
+        (b.finish().unwrap(), f0, f1)
+    }
+
+    #[test]
+    fn shift_register_moves_data() {
+        let (nl, f0, f1) = shifter();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        sim.force_ff(f0, Logic::Zero);
+        sim.force_ff(f1, Logic::Zero);
+        sim.set_port("d", Logic::One).unwrap();
+        sim.step();
+        assert_eq!(sim.ff_value(f0), Logic::One);
+        assert_eq!(sim.ff_value(f1), Logic::Zero);
+        sim.set_port("d", Logic::Zero).unwrap();
+        sim.step();
+        assert_eq!(sim.ff_value(f0), Logic::Zero);
+        assert_eq!(sim.ff_value(f1), Logic::One);
+        assert_eq!(sim.port_value("y").unwrap(), Logic::One);
+    }
+
+    #[test]
+    fn energy_accumulates_and_resets() {
+        let (nl, f0, f1) = shifter();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        sim.force_ff(f0, Logic::Zero);
+        sim.force_ff(f1, Logic::Zero);
+        sim.set_port("d", Logic::One).unwrap();
+        sim.step_n(4);
+        let w = sim.take_energy();
+        assert_eq!(w.cycles, 4);
+        assert!(w.dynamic_pj > 0.0);
+        assert!(w.toggles > 0);
+        let w2 = sim.take_energy();
+        assert_eq!(w2.cycles, 0);
+        assert_eq!(w2.dynamic_pj, 0.0);
+    }
+
+    #[test]
+    fn unknown_initial_state_propagates_x() {
+        let (nl, f0, _f1) = shifter();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        sim.set_port("d", Logic::One).unwrap();
+        sim.settle();
+        assert_eq!(sim.port_value("y").unwrap(), Logic::X);
+        sim.step();
+        assert_eq!(sim.ff_value(f0), Logic::One);
+    }
+
+    fn retention_reg() -> (Netlist, CellId) {
+        let mut b = NetlistBuilder::new("ret");
+        let d = b.input("d");
+        let (q, ff) = b.rdff("r", d);
+        b.output("q", q);
+        (b.finish().unwrap(), ff)
+    }
+
+    #[test]
+    fn power_gating_save_sleep_restore() {
+        let (nl, ff) = retention_reg();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        let pd = sim.define_domain("gated");
+        sim.assign_domain(ff, pd);
+
+        sim.set_port("d", Logic::One).unwrap();
+        sim.step();
+        assert_eq!(sim.ff_value(ff), Logic::One);
+
+        // Sleep sequence: RETAIN=1, power off.
+        sim.set_retain(pd, true);
+        sim.set_power(pd, false);
+        assert_eq!(sim.ff_value(ff), Logic::X, "master lost");
+        assert_eq!(sim.retention_value(ff), Logic::One, "latch holds");
+
+        // Clocking while asleep keeps master at X.
+        sim.set_port("d", Logic::Zero).unwrap();
+        sim.step();
+        assert_eq!(sim.ff_value(ff), Logic::X);
+
+        // Wake: power on, RETAIN=0 restores.
+        sim.set_power(pd, true);
+        assert_eq!(sim.ff_value(ff), Logic::X, "not yet restored");
+        sim.set_retain(pd, false);
+        assert_eq!(sim.ff_value(ff), Logic::One, "restored from latch");
+    }
+
+    #[test]
+    fn retention_upset_corrupts_restored_state() {
+        let (nl, ff) = retention_reg();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        let pd = sim.define_domain("gated");
+        sim.assign_domain(ff, pd);
+        sim.set_port("d", Logic::One).unwrap();
+        sim.step();
+        sim.set_retain(pd, true);
+        sim.set_power(pd, false);
+        // Wake-up rush current flips the latch.
+        sim.flip_retention(ff);
+        sim.set_power(pd, true);
+        sim.set_retain(pd, false);
+        assert_eq!(sim.ff_value(ff), Logic::Zero, "corrupted state restored");
+    }
+
+    #[test]
+    fn gated_domain_outputs_x_and_saves_leakage() {
+        let (nl, ff) = retention_reg();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        let pd = sim.define_domain("gated");
+        sim.assign_domain(ff, pd);
+        let active = sim.leakage_nw();
+        sim.set_power(pd, false);
+        let asleep = sim.leakage_nw();
+        assert!(asleep < active * 0.2, "gating must slash leakage");
+        assert!(asleep > 0.0, "retention latch still leaks");
+    }
+
+    #[test]
+    fn no_clock_energy_while_gated() {
+        let (nl, ff) = retention_reg();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        let pd = sim.define_domain("gated");
+        sim.assign_domain(ff, pd);
+        sim.set_power(pd, false);
+        let _ = sim.take_energy();
+        sim.step_n(10);
+        let w = sim.take_energy();
+        assert_eq!(w.dynamic_pj, 0.0, "gated domain draws no dynamic power");
+    }
+
+    #[test]
+    fn clock_gating_holds_state_and_saves_energy() {
+        let (nl, f0, f1) = shifter();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        let pd = sim.define_domain("gated");
+        sim.assign_domain(f0, pd);
+        sim.assign_domain(f1, pd);
+        sim.force_ff(f0, Logic::One);
+        sim.force_ff(f1, Logic::Zero);
+        sim.set_port("d", Logic::Zero).unwrap();
+        sim.set_clock_enable(pd, false);
+        let _ = sim.take_energy();
+        sim.step_n(5);
+        assert_eq!(sim.ff_value(f0), Logic::One, "gated clock holds state");
+        let w = sim.take_energy();
+        assert_eq!(w.dynamic_pj, 0.0, "no clock energy while gated");
+        sim.set_clock_enable(pd, true);
+        sim.step();
+        assert_eq!(sim.ff_value(f0), Logic::Zero, "clock resumes");
+    }
+
+    #[test]
+    fn scan_flop_capture_in_sim() {
+        let mut b = NetlistBuilder::new("scan1");
+        let d = b.input("d");
+        let si = b.input("si");
+        let se = b.input("se");
+        let (q, ff) = b.sdff("r", d, si, se);
+        b.output("q", q);
+        let nl = b.finish().unwrap();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        sim.set_port("d", Logic::Zero).unwrap();
+        sim.set_port("si", Logic::One).unwrap();
+        sim.set_port("se", Logic::One).unwrap();
+        sim.step();
+        assert_eq!(sim.ff_value(ff), Logic::One, "scan path captures si");
+        sim.set_port("se", Logic::Zero).unwrap();
+        sim.step();
+        assert_eq!(sim.ff_value(ff), Logic::Zero, "functional path captures d");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell-driven")]
+    fn setting_driven_net_panics() {
+        let (nl, _f0, _f1) = shifter();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        let y = nl.port("y").unwrap();
+        sim.set_net(y, Logic::One);
+    }
+
+    #[test]
+    fn stuck_at_overrides_driver() {
+        let (nl, f0, f1) = shifter();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        sim.force_ff(f0, Logic::Zero);
+        sim.force_ff(f1, Logic::Zero);
+        sim.set_port("d", Logic::One).unwrap();
+        // Stick f0's output at 0: the 1 on d never propagates.
+        let q0 = nl.cell(f0).output();
+        sim.set_stuck(q0, Logic::Zero);
+        sim.step_n(3);
+        assert_eq!(sim.ff_value(f0), Logic::Zero, "stuck output holds");
+        assert_eq!(sim.ff_value(f1), Logic::Zero, "downstream sees the fault");
+        sim.clear_stuck();
+        sim.step_n(2);
+        assert_eq!(sim.ff_value(f1), Logic::One, "healthy again after clearing");
+    }
+
+    #[test]
+    fn stuck_at_on_comb_output() {
+        let (nl, f0, f1) = shifter();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        sim.force_ff(f0, Logic::One);
+        sim.force_ff(f1, Logic::Zero);
+        let y = nl.port("y").unwrap();
+        sim.set_stuck(y, Logic::One);
+        sim.force_ff(f0, Logic::Zero);
+        sim.settle();
+        assert_eq!(sim.value(y), Logic::One, "xor output stuck high");
+    }
+
+    #[test]
+    fn settle_is_idempotent_for_energy() {
+        let (nl, f0, f1) = shifter();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        sim.force_ff(f0, Logic::One);
+        sim.force_ff(f1, Logic::Zero);
+        sim.settle();
+        let _ = sim.take_energy();
+        sim.settle();
+        sim.settle();
+        let w = sim.take_energy();
+        assert_eq!(w.toggles, 0, "re-settling without change is free");
+    }
+}

@@ -1,0 +1,227 @@
+//! Value-change-dump (VCD) capture.
+//!
+//! A [`VcdWriter`] watches a set of nets during simulation and renders a
+//! standard VCD document that any waveform viewer (GTKWave, Surfer, …)
+//! can open — indispensable when debugging why a monitor block
+//! mis-aligned its parity store against the circulating state.
+
+use crate::Simulator;
+use scanguard_netlist::{Logic, NetId};
+use std::fmt::Write as _;
+
+/// Captures value changes on watched nets, one sample per clock cycle.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_netlist::{CellLibrary, Logic, NetlistBuilder};
+/// use scanguard_sim::{Simulator, VcdWriter};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("t");
+/// let d = b.input("d");
+/// let (q, _) = b.dff("r", d);
+/// b.output("q", q);
+/// let nl = b.finish()?;
+/// let lib = CellLibrary::st120nm();
+/// let mut sim = Simulator::new(&nl, &lib);
+///
+/// let mut vcd = VcdWriter::new("t", 10_000); // 10 ns timescale units
+/// vcd.watch("d", nl.port("d")?);
+/// vcd.watch("q", nl.port("q")?);
+///
+/// sim.set_port("d", Logic::One)?;
+/// vcd.sample(&sim);
+/// sim.step();
+/// vcd.sample(&sim);
+/// let doc = vcd.finish();
+/// assert!(doc.contains("$var wire 1"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct VcdWriter {
+    module: String,
+    timescale_ps: u64,
+    signals: Vec<(String, NetId)>,
+    last: Vec<Option<Logic>>,
+    changes: String,
+    time: u64,
+    started: bool,
+}
+
+impl VcdWriter {
+    /// Starts a writer for a module; `timescale_ps` is the picoseconds
+    /// per sample (e.g. 10,000 for a 100 MHz clock).
+    #[must_use]
+    pub fn new(module: &str, timescale_ps: u64) -> Self {
+        VcdWriter {
+            module: module.to_owned(),
+            timescale_ps: timescale_ps.max(1),
+            signals: Vec::new(),
+            last: Vec::new(),
+            changes: String::new(),
+            time: 0,
+            started: false,
+        }
+    }
+
+    /// Adds a net to the watch list. Must be called before the first
+    /// [`sample`](Self::sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sampling has already started.
+    pub fn watch(&mut self, name: &str, net: NetId) {
+        assert!(!self.started, "add signals before the first sample");
+        self.signals.push((name.to_owned(), net));
+        self.last.push(None);
+    }
+
+    /// Number of watched signals.
+    #[must_use]
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Records the current value of every watched net as one timestep.
+    pub fn sample(&mut self, sim: &Simulator<'_>) {
+        self.started = true;
+        let mut stamped = false;
+        for (i, &(_, net)) in self.signals.iter().enumerate() {
+            let v = sim.value(net);
+            if self.last[i] != Some(v) {
+                if !stamped {
+                    let _ = writeln!(self.changes, "#{}", self.time);
+                    stamped = true;
+                }
+                let _ = writeln!(self.changes, "{}{}", vcd_char(v), ident(i));
+                self.last[i] = Some(v);
+            }
+        }
+        self.time += 1;
+    }
+
+    /// Renders the complete VCD document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$date scanguard $end");
+        let _ = writeln!(out, "$version scanguard-sim $end");
+        let _ = writeln!(out, "$timescale {} ps $end", self.timescale_ps);
+        let _ = writeln!(out, "$scope module {} $end", self.module);
+        for (i, (name, _)) in self.signals.iter().enumerate() {
+            let clean: String = name
+                .chars()
+                .map(|c| if c.is_whitespace() { '_' } else { c })
+                .collect();
+            let _ = writeln!(out, "$var wire 1 {} {clean} $end", ident(i));
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        out.push_str(&self.changes);
+        let _ = writeln!(out, "#{}", self.time);
+        out
+    }
+}
+
+fn vcd_char(v: Logic) -> char {
+    match v {
+        Logic::Zero => '0',
+        Logic::One => '1',
+        Logic::X => 'x',
+    }
+}
+
+/// Short printable VCD identifier for signal index `i`.
+fn ident(i: usize) -> String {
+    // Base-94 over the printable ASCII range '!'..='~'.
+    let mut n = i;
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (n % 94) as u8) as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanguard_netlist::{CellLibrary, NetlistBuilder};
+
+    #[test]
+    fn captures_changes_only() {
+        let mut b = NetlistBuilder::new("t");
+        let d = b.input("d");
+        let (q, ff) = b.dff("r", d);
+        b.output("q", q);
+        let nl = b.finish().unwrap();
+        let lib = CellLibrary::st120nm();
+        let mut sim = Simulator::new(&nl, &lib);
+        sim.force_ff(ff, Logic::Zero);
+
+        let mut vcd = VcdWriter::new("t", 10_000);
+        vcd.watch("d", nl.port("d").unwrap());
+        vcd.watch("q", nl.port("q").unwrap());
+        sim.set_port("d", Logic::One).unwrap();
+        sim.settle();
+        vcd.sample(&sim); // d=1, q=0
+        sim.step();
+        vcd.sample(&sim); // q -> 1
+        sim.step();
+        vcd.sample(&sim); // nothing changes
+        let doc = vcd.finish();
+        assert!(doc.contains("$timescale 10000 ps $end"));
+        assert!(doc.contains("$var wire 1 ! d $end"));
+        assert!(doc.contains("$var wire 1 \" q $end"));
+        // Timestep 2 has no change lines between #2 and the trailing #3.
+        let after2 = doc.split("#2\n").nth(1).unwrap_or("");
+        assert!(after2.starts_with("#3") || after2.is_empty(), "{doc}");
+        // q transitions 0 -> 1 exactly once.
+        assert_eq!(doc.matches("1\"").count(), 1, "{doc}");
+    }
+
+    #[test]
+    fn x_values_render_as_x() {
+        let mut b = NetlistBuilder::new("t");
+        let d = b.input("d");
+        let (q, _) = b.dff("r", d);
+        b.output("q", q);
+        let nl = b.finish().unwrap();
+        let lib = CellLibrary::st120nm();
+        let sim = Simulator::new(&nl, &lib);
+        let mut vcd = VcdWriter::new("t", 1);
+        vcd.watch("q", nl.port("q").unwrap());
+        vcd.sample(&sim);
+        let doc = vcd.finish();
+        assert!(doc.contains("x!"), "{doc}");
+    }
+
+    #[test]
+    fn identifiers_are_unique_for_many_signals() {
+        let ids: Vec<String> = (0..200).map(ident).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first sample")]
+    fn watching_after_sampling_panics() {
+        let mut b = NetlistBuilder::new("t");
+        let d = b.input("d");
+        b.output("y", d);
+        let nl = b.finish().unwrap();
+        let lib = CellLibrary::st120nm();
+        let sim = Simulator::new(&nl, &lib);
+        let mut vcd = VcdWriter::new("t", 1);
+        vcd.watch("d", nl.port("d").unwrap());
+        vcd.sample(&sim);
+        vcd.watch("late", nl.port("y").unwrap());
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end flow test on the paper's actual case study: the 32x32
+//! FIFO (1040 flip-flops) with the Sec. IV configuration of 80 scan
+//! chains of 13 flops.
+
+use scanguard_core::{measure_cost, CodeChoice, Synthesizer};
+use scanguard_designs::Fifo;
+use scanguard_netlist::Logic;
+
+#[test]
+fn paper_configuration_synthesizes_with_80_chains_of_13() {
+    let fifo = Fifo::generate(32, 32);
+    assert_eq!(fifo.netlist.ff_count(), 1040);
+    let design = Synthesizer::new(fifo.netlist)
+        .chains(80)
+        .code(CodeChoice::hamming7_4())
+        .test_width(4)
+        .build()
+        .expect("paper configuration must synthesize");
+    assert_eq!(design.chains.width(), 80);
+    assert_eq!(design.chain_len(), 13, "80 x 13 = 1040, no padding");
+    assert_eq!(design.monitor.groups.len(), 20, "20 monitor blocks");
+    // Parity store: 3 bits per word x 13 words x 20 groups = 780.
+    assert_eq!(design.monitor.store_bits, 780);
+    // Latency at 100 MHz: 13 x 10 ns = 130 ns (paper Table II, W=80).
+    assert!((design.latency_ns() - 130.0).abs() < 1e-9);
+}
+
+#[test]
+fn full_sleep_wake_on_the_paper_fifo_corrects_an_upset() {
+    let fifo = Fifo::generate(32, 32);
+    let design = Synthesizer::new(fifo.netlist)
+        .chains(80)
+        .code(CodeChoice::hamming7_4())
+        .build()
+        .expect("synthesis");
+    let mut rt = design.runtime();
+    rt.load_random_state(0xF1F0);
+    // Quiet cycle first.
+    let quiet = rt.sleep_wake(|_, _| 0);
+    assert!(quiet.state_intact());
+    assert!(!quiet.error_observed);
+    assert!(quiet.done_observed);
+    // One retention upset mid-array.
+    let rep = rt.sleep_wake(|sim, chains| {
+        sim.flip_retention(chains.chains[40].cells[6]);
+        1
+    });
+    assert!(rep.error_observed, "upset must be reported");
+    assert!(rep.state_intact(), "upset must be corrected");
+}
+
+#[test]
+fn cost_measurement_matches_paper_w80_shape() {
+    let fifo = Fifo::generate(32, 32);
+    let design = Synthesizer::new(fifo.netlist)
+        .chains(80)
+        .code(CodeChoice::hamming7_4())
+        .build()
+        .expect("synthesis");
+    let row = measure_cost(&design, 0x7AB1E);
+    // Paper Table II @ W=80: latency 130 ns, overhead ~87%, enc power
+    // ~8 mW, energy ~1 nJ. We require the reproduced shape: the same
+    // latency, tens-of-percent overhead, single-digit mW, ~1 nJ.
+    assert!((row.latency_ns - 130.0).abs() < 1e-9);
+    assert!(row.overhead_pct > 30.0 && row.overhead_pct < 150.0, "{row:?}");
+    assert!(row.enc_power_mw > 1.0 && row.enc_power_mw < 30.0, "{row:?}");
+    assert!(row.enc_energy_nj > 0.1 && row.enc_energy_nj < 5.0, "{row:?}");
+}
+
+#[test]
+fn protected_fifo_still_works_functionally() {
+    // The methodology must not disturb normal operation (paper: no
+    // impact on the critical path / functionality).
+    let fifo = Fifo::generate(4, 8);
+    let design = Synthesizer::new(fifo.netlist)
+        .chains(4)
+        .code(CodeChoice::hamming7_4())
+        .build()
+        .expect("synthesis");
+    let mut rt = design.runtime();
+    let sim = rt.sim_mut();
+    sim.set_port("rst", Logic::One).unwrap();
+    rt.functional_step();
+    rt.sim_mut().set_port("rst", Logic::Zero).unwrap();
+    // Write 0x5A.
+    rt.sim_mut().set_port_bool("wr_en", true).unwrap();
+    for i in 0..8 {
+        rt.sim_mut()
+            .set_port_bool(&format!("din[{i}]"), (0x5Au64 >> i) & 1 == 1)
+            .unwrap();
+    }
+    rt.functional_step();
+    rt.sim_mut().set_port_bool("wr_en", false).unwrap();
+    rt.sim_mut().settle();
+    let mut v = 0u64;
+    for i in 0..8 {
+        if rt.sim_mut().port_value(&format!("dout[{i}]")).unwrap() == Logic::One {
+            v |= 1 << i;
+        }
+    }
+    assert_eq!(v, 0x5A);
+}
+
+#[test]
+fn endurance_many_sleep_wake_cycles() {
+    // A device sleeps thousands of times over its life; the monitor must
+    // stay consistent across consecutive episodes — clean, upset,
+    // clean, ... — with no state drift or stale parity.
+    let fifo = Fifo::generate(8, 8);
+    let design = Synthesizer::new(fifo.netlist)
+        .chains(8)
+        .code(CodeChoice::hamming7_4())
+        .build()
+        .expect("synthesis");
+    let mut rt = design.runtime();
+    rt.load_random_state(0xE2D);
+    for episode in 0..25u64 {
+        let upset = episode % 3 == 1;
+        let rep = rt.sleep_wake(|sim, chains| {
+            if upset {
+                let c = (episode as usize * 5) % 8;
+                let d = (episode as usize * 3) % chains.chains[c].len();
+                sim.flip_retention(chains.chains[c].cells[d]);
+                1
+            } else {
+                0
+            }
+        });
+        assert_eq!(rep.error_observed, upset, "episode {episode}");
+        assert!(rep.state_intact(), "episode {episode} corrupted state");
+        assert!(rep.done_observed, "episode {episode} sequencer failed");
+        // Mutate some functional state between episodes so every encode
+        // covers fresh data.
+        if episode % 2 == 0 {
+            rt.sim_mut().set_port_bool("wr_en", true).unwrap();
+            rt.sim_mut()
+                .set_port_bool("din[0]", episode % 4 == 0)
+                .unwrap();
+            rt.functional_step();
+            rt.sim_mut().set_port_bool("wr_en", false).unwrap();
+        }
+    }
+}

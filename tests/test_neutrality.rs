@@ -1,0 +1,237 @@
+//! Sec. III's claim, proven: the monitor architecture has **no impact on
+//! manufacturing test**. With the Fig. 5(b) concatenation engaged, the
+//! tester sees `T` clean chains of length `(W/T) * l` even though the
+//! monitor hardware sits on every chain's scan-in path.
+
+#![allow(clippy::needless_range_loop)]
+
+use scanguard_core::{CodeChoice, Synthesizer};
+use scanguard_designs::Fifo;
+use scanguard_dft::{
+    fault_coverage, insert_scan, Fault, FaultSimConfig, ScanAccess, ScanConfig, StuckAt,
+};
+use scanguard_netlist::{CellLibrary, Logic};
+use scanguard_sim::Simulator;
+
+#[test]
+fn manufacturing_test_shifts_cleanly_through_the_protected_design() {
+    let fifo = Fifo::generate(8, 8);
+    let design = Synthesizer::new(fifo.netlist)
+        .chains(8)
+        .code(CodeChoice::hamming7_4())
+        .test_width(2)
+        .build()
+        .expect("synthesis");
+    let tm = design.test_mode.as_ref().expect("test mode configured");
+    let total = tm.test_chain_len;
+    assert_eq!(total * tm.test_width, design.chains.ff_count());
+
+    let mut sim = Simulator::new(&design.netlist, &design.library);
+    for (_, net) in design.netlist.input_ports() {
+        sim.set_net(*net, Logic::Zero);
+    }
+    design.chains.set_scan_enable(&mut sim, true);
+    tm.set_test_mode(&mut sim, true);
+
+    // Shift a known pattern through each test chain and capture what
+    // emerges after `total` cycles.
+    let pattern: Vec<Vec<Logic>> = (0..tm.test_width)
+        .map(|g| {
+            (0..total)
+                .map(|i| Logic::from((i * 7 + g * 3) % 5 < 2))
+                .collect()
+        })
+        .collect();
+    for i in 0..total {
+        let ins: Vec<Logic> = (0..tm.test_width).map(|g| pattern[g][i]).collect();
+        tm.shift(&mut sim, &ins);
+    }
+    let mut out = vec![Vec::with_capacity(total); tm.test_width];
+    for _ in 0..total {
+        let outs = tm.shift(&mut sim, &vec![Logic::Zero; tm.test_width]);
+        for (g, &o) in outs.iter().enumerate() {
+            out[g].push(o);
+        }
+    }
+    for g in 0..tm.test_width {
+        assert_eq!(out[g], pattern[g], "test chain {g} corrupted the pattern");
+    }
+}
+
+#[test]
+fn fault_coverage_survives_monitor_insertion() {
+    // The strongest form of Sec. III's claim: the *same* stuck-at faults
+    // in the power-gated circuit are detected by the manufacturing scan
+    // test before and after the monitor hardware is inserted.
+    let lib = CellLibrary::st120nm();
+
+    // Reference: the plain scanned FIFO, tested through its si/so ports.
+    let fifo = Fifo::generate(4, 4);
+    let baseline_cells = fifo.netlist.cell_count();
+    let mut plain = fifo.netlist.clone();
+    let plain_chains = insert_scan(&mut plain, &ScanConfig::with_chains(4)).unwrap();
+
+    // Device under test: the protected design, tested through the
+    // Fig. 5(b) concatenated chains, monitor controls held low.
+    let protected = Synthesizer::new(fifo.netlist)
+        .chains(4)
+        .code(CodeChoice::hamming7_4())
+        .test_width(2)
+        .build()
+        .unwrap();
+    let tm = protected.test_mode.as_ref().unwrap();
+
+    // The same fault sample in both netlists: original-design cells keep
+    // their ids through both flows (overlay cells are appended).
+    let faults: Vec<Fault> = (0..baseline_cells)
+        .step_by(baseline_cells / 30)
+        .flat_map(|i| {
+            let cell = scanguard_netlist::CellId::from_index(i);
+            [
+                Fault { cell, stuck: StuckAt::Zero },
+                Fault { cell, stuck: StuckAt::One },
+            ]
+        })
+        .collect();
+
+    let cfg = FaultSimConfig {
+        patterns: 24,
+        seed: 0x7E57,
+        max_faults: None,
+        hold_low: vec![
+            "mon_en".into(),
+            "mon_decode".into(),
+            "mon_clear".into(),
+            "mon_sig_cap".into(),
+        ],
+    };
+    let before = fault_coverage(&plain, ScanAccess::Direct(&plain_chains), &lib, &faults, &cfg);
+    let after = fault_coverage(
+        &protected.netlist,
+        ScanAccess::TestMode(&protected.chains, tm),
+        &lib,
+        &faults,
+        &cfg,
+    );
+    // The two testers apply *different* effective stimulus (the padded,
+    // concatenated chains map the same random bits to different flops),
+    // so random-pattern coverage matches only within statistical noise —
+    // the claim is that observability is preserved, not that the same
+    // random patterns excite the same rare decode coincidences.
+    assert!(
+        (before.coverage_pct() - after.coverage_pct()).abs() <= 5.0,
+        "monitor insertion must not lose manufacturing-test coverage: \
+         before {:.1}%, after {:.1}% (missed after: {:?})",
+        before.coverage_pct(),
+        after.coverage_pct(),
+        after.undetected_sample
+    );
+    assert!(after.coverage_pct() > 80.0, "{:.1}%", after.coverage_pct());
+    // Random-pattern scan test is not full ATPG; datapath-decode faults
+    // need specific pointer/enable coincidences. What matters here is
+    // the before/after equality, but the reference must still be a real
+    // test.
+    assert!(
+        before.coverage_pct() > 75.0,
+        "the reference scan test itself must be effective: {:.1}%",
+        before.coverage_pct()
+    );
+}
+
+#[test]
+fn functional_critical_path_is_untouched() {
+    // Sec. II-A: "There is no impact on power gated circuits'
+    // performance (critical path) in normal operation. This is because
+    // all state monitoring is done in scan mode." Check it with STA:
+    // the worst path into any flop's functional d pin must be identical
+    // before and after monitor + test-mode insertion; only the scan
+    // path may grow.
+    let lib = CellLibrary::st120nm();
+    let fifo = Fifo::generate(8, 8);
+    let mut plain = fifo.netlist.clone();
+    let _ = insert_scan(&mut plain, &ScanConfig::retention_with_chains(8)).unwrap();
+    let before = scanguard_netlist::critical_path(&plain, &lib);
+
+    let protected = Synthesizer::new(fifo.netlist)
+        .chains(8)
+        .code(CodeChoice::hamming7_4())
+        .test_width(4)
+        .build()
+        .unwrap();
+    let after = scanguard_netlist::critical_path(&protected.netlist, &lib);
+
+    assert!(
+        (after.functional_ps - before.functional_ps).abs() < 1e-9,
+        "functional critical path changed: {:.0} ps -> {:.0} ps",
+        before.functional_ps,
+        after.functional_ps
+    );
+    assert!(
+        after.scan_ps > before.scan_ps,
+        "the monitor sits on the scan path ({} -> {})",
+        before.scan_ps,
+        after.scan_ps
+    );
+}
+
+#[test]
+fn monitor_mode_unaffected_by_test_overlay() {
+    // With test_mode low, a full protected sleep/wake still corrects an
+    // upset — the overlay muxes are transparent in monitor mode.
+    let fifo = Fifo::generate(8, 8);
+    let design = Synthesizer::new(fifo.netlist)
+        .chains(8)
+        .code(CodeChoice::hamming7_4())
+        .test_width(4)
+        .build()
+        .expect("synthesis");
+    let mut rt = design.runtime();
+    rt.load_random_state(0x7E57);
+    let rep = rt.sleep_wake(|sim, chains| {
+        sim.flip_retention(chains.chains[5].cells[3]);
+        1
+    });
+    assert!(rep.error_observed);
+    assert!(rep.state_intact());
+}
+
+#[test]
+fn injector_overlay_is_also_test_neutral() {
+    // Even with the Fig. 6 injector attached (disarmed), the test-mode
+    // concatenation still shifts cleanly.
+    let fifo = Fifo::generate(4, 4);
+    let design = Synthesizer::new(fifo.netlist)
+        .chains(4)
+        .code(CodeChoice::crc16())
+        .test_width(4)
+        .with_injector(true)
+        .build()
+        .expect("synthesis");
+    let tm = design.test_mode.as_ref().expect("test mode");
+    let inj = design.injector.as_ref().expect("injector");
+    let mut sim = Simulator::new(&design.netlist, &design.library);
+    for (_, net) in design.netlist.input_ports() {
+        sim.set_net(*net, Logic::Zero);
+    }
+    design.chains.set_scan_enable(&mut sim, true);
+    inj.disarm(&mut sim);
+    tm.set_test_mode(&mut sim, true);
+    let total = tm.test_chain_len;
+    let pattern: Vec<Vec<Logic>> = (0..tm.test_width)
+        .map(|g| (0..total).map(|i| Logic::from((i + g) % 2 == 0)).collect())
+        .collect();
+    for i in 0..total {
+        let ins: Vec<Logic> = (0..tm.test_width).map(|g| pattern[g][i]).collect();
+        tm.shift(&mut sim, &ins);
+    }
+    let mut out = vec![Vec::with_capacity(total); tm.test_width];
+    for _ in 0..total {
+        let outs = tm.shift(&mut sim, &vec![Logic::Zero; tm.test_width]);
+        for (g, &o) in outs.iter().enumerate() {
+            out[g].push(o);
+        }
+    }
+    for g in 0..tm.test_width {
+        assert_eq!(out[g], pattern[g]);
+    }
+}
