@@ -22,8 +22,7 @@ fn main() {
                 .code(code)
                 .build()
                 .expect("synthesis");
-            let constructed =
-                design.protected.total_area_um2 - design.baseline.total_area_um2;
+            let constructed = design.protected.total_area_um2 - design.baseline.total_area_um2;
             let analytic = analytic_cost(1040, w, code, &design.library, 100.0);
             let ratio = analytic.monitor_area_um2 / constructed;
             worst_ratio = worst_ratio.max(ratio.max(1.0 / ratio));

@@ -35,8 +35,12 @@ fn main() {
         crc_overheads.push(crc.overhead_pct);
         rows.push(format!(
             "W={:<3} l={:<4} parity: {:>5.1}% {:>5.2} mW   crc-16: {:>5.1}% {:>5.2} mW",
-            w, parity.chain_len, parity.overhead_pct, parity.enc_power_mw,
-            crc.overhead_pct, crc.enc_power_mw
+            w,
+            parity.chain_len,
+            parity.overhead_pct,
+            parity.enc_power_mw,
+            crc.overhead_pct,
+            crc.enc_power_mw
         ));
     }
     print_table(
@@ -50,9 +54,7 @@ fn main() {
     // odd-weight patterns while CRC catches bursts — so CRC wins overall
     // unless area at low W dominates all else.
     let mut ok = true;
-    let parity_span = parity_overheads
-        .iter()
-        .fold(f64::MIN, |a, &b| a.max(b))
+    let parity_span = parity_overheads.iter().fold(f64::MIN, |a, &b| a.max(b))
         - parity_overheads.iter().fold(f64::MAX, |a, &b| a.min(b));
     if parity_span > 8.0 {
         println!("FAIL: parity store is W-invariant; overhead span {parity_span:.1} too wide");

@@ -37,7 +37,11 @@ fn main() {
         &rendered,
     );
 
-    let by = |n: &str| rows.iter().find(|r| r.strategy.starts_with(n)).expect("row");
+    let by = |n: &str| {
+        rows.iter()
+            .find(|r| r.strategy.starts_with(n))
+            .expect("row")
+    };
     let full = by("full-bank");
     let stag8 = by("staggered x8 [");
     let proposed = by("full-bank + monitor");

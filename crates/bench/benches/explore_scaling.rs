@@ -1,0 +1,35 @@
+//! Thread-scaling of the design-space explorer: the same space at 1, 2,
+//! 4 and 8 workers. The work list is dominated by synthesis, which the
+//! cache dedups to one build per `(W, code)`, so the curve shows how
+//! well the work-stealing pool packs unequal build times. (On a
+//! single-core host the curve is flat — the pool can only trade
+//! context switches, not add throughput.)
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scanguard_explore::{explore, DesignSpec, SpaceSpec};
+
+fn spec() -> SpaceSpec {
+    let mut spec = SpaceSpec::paper(DesignSpec::Fifo {
+        depth: 32,
+        width: 32,
+    });
+    spec.trials = 100;
+    spec
+}
+
+fn bench_explore_scaling(c: &mut Criterion) {
+    let spec = spec();
+    let points = spec.enumerate().len() as u64;
+    let mut group = c.benchmark_group("explore_scaling");
+    group.throughput(Throughput::Elements(points));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("threads/{threads}"), |b| {
+            b.iter(|| explore(&spec, threads).expect("explore"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore_scaling);
+criterion_main!(benches);

@@ -65,7 +65,10 @@ fn main() {
     for k in 0..10 {
         let col: Vec<f64> = family.iter().map(|(_, pts)| pts[k].corrected_pct).collect();
         if !(col[0] >= col[1] && col[1] >= col[2] && col[2] >= col[3]) {
-            println!("FAIL: family ordering violated at {} errors: {col:?}", k + 1);
+            println!(
+                "FAIL: family ordering violated at {} errors: {col:?}",
+                k + 1
+            );
             ok = false;
         }
     }

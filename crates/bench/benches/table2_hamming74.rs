@@ -50,10 +50,7 @@ fn main() {
             relation_ok = false;
         }
     }
-    println!(
-        "shape check: {}",
-        if relation_ok { "PASS" } else { "FAIL" }
-    );
+    println!("shape check: {}", if relation_ok { "PASS" } else { "FAIL" });
     if !relation_ok {
         std::process::exit(1);
     }

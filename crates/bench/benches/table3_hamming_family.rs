@@ -26,8 +26,12 @@ fn main() {
         ));
         rendered.push(format!(
             "{:<15}       ours:  {:>7.0}um^2 {:>5.1}% enc {:>4.2}mW dec {:>4.2}mW cap {:>5.2}%",
-            "", ours.total_area_um2, ours.overhead_pct, ours.enc_power_mw,
-            ours.dec_power_mw, ours.capability_pct
+            "",
+            ours.total_area_um2,
+            ours.overhead_pct,
+            ours.enc_power_mw,
+            ours.dec_power_mw,
+            ours.capability_pct
         ));
     }
     print_table(
@@ -51,15 +55,16 @@ fn main() {
     }
     for (p, o) in TABLE3.iter().zip(&rows) {
         if (p.capability_pct - o.capability_pct).abs() > 0.05 {
-            println!("FAIL: capability {} vs paper {}", o.capability_pct, p.capability_pct);
+            println!(
+                "FAIL: capability {} vs paper {}",
+                o.capability_pct, p.capability_pct
+            );
             ok = false;
         }
     }
     let reduction_ours = rows[0].overhead_pct / rows[3].overhead_pct;
     let reduction_paper = TABLE3[0].overhead_pct / TABLE3[3].overhead_pct;
-    println!(
-        "overhead span (7,4)/(63,57): ours x{reduction_ours:.1}, paper x{reduction_paper:.1}"
-    );
+    println!("overhead span (7,4)/(63,57): ours x{reduction_ours:.1}, paper x{reduction_paper:.1}");
     println!("shape check: {}", if ok { "PASS" } else { "FAIL" });
     if !ok {
         std::process::exit(1);

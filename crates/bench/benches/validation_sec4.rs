@@ -22,7 +22,10 @@ fn main() {
     let fmt = |name: &str, s: &scanguard_harness::ValidationStats| {
         format!(
             "{name:<28} seq={:<5} inj={:<5} reported={:<5} corrected={:<5} mismatches={}",
-            s.sequences, s.injected_bits, s.errors_reported, s.sequences_recovered,
+            s.sequences,
+            s.injected_bits,
+            s.errors_reported,
+            s.sequences_recovered,
             s.comparator_mismatches
         )
     };

@@ -120,7 +120,15 @@ mod tests {
     fn shape_checker_accepts_paper_like_sweeps() {
         let ours: Vec<CostRow> = TABLE1
             .iter()
-            .map(|p| fake_row(p.chains, p.chain_len, p.latency_ns, p.enc_energy_nj, p.overhead_pct))
+            .map(|p| {
+                fake_row(
+                    p.chains,
+                    p.chain_len,
+                    p.latency_ns,
+                    p.enc_energy_nj,
+                    p.overhead_pct,
+                )
+            })
             .collect();
         assert!(check_sweep_shape(&TABLE1, &ours).is_empty());
     }
@@ -129,7 +137,15 @@ mod tests {
     fn shape_checker_flags_inverted_trends() {
         let mut ours: Vec<CostRow> = TABLE1
             .iter()
-            .map(|p| fake_row(p.chains, p.chain_len, p.latency_ns, p.enc_energy_nj, p.overhead_pct))
+            .map(|p| {
+                fake_row(
+                    p.chains,
+                    p.chain_len,
+                    p.latency_ns,
+                    p.enc_energy_nj,
+                    p.overhead_pct,
+                )
+            })
             .collect();
         ours[4].enc_energy_nj = 99.0;
         assert!(!check_sweep_shape(&TABLE1, &ours).is_empty());

@@ -369,8 +369,14 @@ mod tests {
                 }
             }
         }
-        assert!(miscorrections > 0, "plain hamming must miscorrect sometimes");
-        assert!(detections > 0, "syndromes hitting parity positions are detections");
+        assert!(
+            miscorrections > 0,
+            "plain hamming must miscorrect sometimes"
+        );
+        assert!(
+            detections > 0,
+            "syndromes hitting parity positions are detections"
+        );
     }
 
     #[test]

@@ -236,13 +236,19 @@ impl ProposedController {
                 sig_cap: true,
                 ..off
             },
-            MonPhase::Save => MonOutputs { retain: true, ..off },
+            MonPhase::Save => MonOutputs {
+                retain: true,
+                ..off
+            },
             MonPhase::PowerDown | MonPhase::Sleep => MonOutputs {
                 retain: true,
                 power_on: false,
                 ..off
             },
-            MonPhase::PowerUp => MonOutputs { retain: true, ..off },
+            MonPhase::PowerUp => MonOutputs {
+                retain: true,
+                ..off
+            },
             MonPhase::Restore => off,
             MonPhase::DecodeClear => MonOutputs {
                 mon_clear: true,

@@ -162,10 +162,7 @@ pub fn analytic_cost(
     };
     let feedback = chains as f64 * xor;
     AnalyticCost {
-        monitor_area_um2: storage_area
-            + groups as f64 * per_block_glue
-            + sequencer
-            + feedback,
+        monitor_area_um2: storage_area + groups as f64 * per_block_glue + sequencer + feedback,
         store_bits,
         latency_ns: l as f64 * 1000.0 / clock_mhz,
     }
@@ -279,13 +276,7 @@ mod tests {
             .build()
             .unwrap();
         let constructed = d.protected.total_area_um2 - d.baseline.total_area_um2;
-        let analytic = analytic_cost(
-            64,
-            8,
-            CodeChoice::hamming7_4(),
-            &d.library,
-            d.clock_mhz,
-        );
+        let analytic = analytic_cost(64, 8, CodeChoice::hamming7_4(), &d.library, d.clock_mhz);
         let ratio = analytic.monitor_area_um2 / constructed;
         assert!(
             (0.5..2.0).contains(&ratio),
@@ -307,10 +298,7 @@ mod tests {
         assert!(be.protection_energy_nj > 0.0);
         // Microseconds-to-milliseconds is the plausible regime for a
         // ~100-flop domain; days would mean a unit bug.
-        assert!(
-            be.min_sleep_us > 0.1 && be.min_sleep_us < 1e6,
-            "{be:?}"
-        );
+        assert!(be.min_sleep_us > 0.1 && be.min_sleep_us < 1e6, "{be:?}");
     }
 
     #[test]
@@ -338,9 +326,6 @@ mod tests {
             .build()
             .unwrap();
         let row = measure_cost(&d, 3).to_string();
-        assert_eq!(
-            h.split_whitespace().count(),
-            row.split_whitespace().count()
-        );
+        assert_eq!(h.split_whitespace().count(), row.split_whitespace().count());
     }
 }

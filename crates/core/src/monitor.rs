@@ -169,7 +169,8 @@ fn build_sequencer(
     for i in 0..bits {
         let d = g.nl.add_net(None);
         let (q, id) = {
-            let (q, id) = g.nl.add_cell(GateKind::Dff, vec![d], Some(&format!("{tag}_cnt{i}")));
+            let (q, id) =
+                g.nl.add_cell(GateKind::Dff, vec![d], Some(&format!("{tag}_cnt{i}")));
             (q, id)
         };
         g.cells.push(id);
@@ -186,9 +187,8 @@ fn build_sequencer(
     for i in 0..bits {
         let stepped = g.mux2(mon_en, qs[i], inc[i]);
         let next = g.mux2(mon_clear, stepped, zero);
-        let id = g
-            .nl
-            .add_cell_driving(GateKind::Buf, vec![next], ds[i], None);
+        let id =
+            g.nl.add_cell_driving(GateKind::Buf, vec![next], ds[i], None);
         g.cells.push(id);
     }
     g.equals_const(&qs, chain_len as u64)
@@ -258,9 +258,7 @@ pub fn attach_monitor(
             let extended = matches!(code, CodeChoice::ExtendedHamming { .. });
             let pw = base.parity_width() as usize + usize::from(extended);
             for gi in 0..n_groups {
-                let so: Vec<NetId> = (0..k)
-                    .map(|i| chains.chains[gi * gw + i].so)
-                    .collect();
+                let so: Vec<NetId> = (0..k).map(|i| chains.chains[gi * gw + i].so).collect();
                 // Recomputed parity: bit j = XOR of data bits whose
                 // codeword position has bit j set.
                 let mut parity_now = Vec::with_capacity(pw);
@@ -374,7 +372,8 @@ pub fn attach_monitor(
                     let held = g.mux2(mon_en, qs[j], state[j]);
                     let init = if (0xFFFFu64 >> j) & 1 == 1 { one } else { zero };
                     let next = g.mux2(mon_clear, held, init);
-                    let id = g.nl.add_cell_driving(GateKind::Buf, vec![next], ds[j], None);
+                    let id =
+                        g.nl.add_cell_driving(GateKind::Buf, vec![next], ds[j], None);
                     g.cells.push(id);
                 }
                 // Signature register with capture strobe.
@@ -459,9 +458,8 @@ fn build_store_row(
     }
     let store_out = prev;
     let sel = g.mux2(mon_decode, parity_now, store_out);
-    let id = g
-        .nl
-        .add_cell_driving(GateKind::Buf, vec![sel], store_in, None);
+    let id =
+        g.nl.add_cell_driving(GateKind::Buf, vec![sel], store_in, None);
     g.cells.push(id);
     store_out
 }
@@ -636,7 +634,11 @@ mod tests {
         // Clean decode: recompute, compare -> no error.
         pass(&mut sim);
         sim.settle();
-        assert_eq!(sim.value(mh.err), Logic::Zero, "clean state matches signature");
+        assert_eq!(
+            sim.value(mh.err),
+            Logic::Zero,
+            "clean state matches signature"
+        );
         sim.set_clock_enable(pd, true);
 
         // Corrupt and decode again: mismatch.

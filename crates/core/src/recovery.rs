@@ -161,7 +161,11 @@ mod tests {
         let before = d.chains.snapshot(rt.sim());
         let cp = checkpoint(&mut rt);
         assert_eq!(cp.state(), before.as_slice(), "dump must read the state");
-        assert_eq!(d.chains.snapshot(rt.sim()), before, "dump must not disturb it");
+        assert_eq!(
+            d.chains.snapshot(rt.sim()),
+            before,
+            "dump must not disturb it"
+        );
         assert_eq!(cp.dump_cycles, 4);
         assert!(cp.dump_energy.dynamic_pj > 0.0);
     }
@@ -197,7 +201,11 @@ mod tests {
         assert!(rep.error_observed, "CRC must flag the corruption");
         assert!(!rep.state_intact(), "CRC cannot correct");
         let restore_rep = restore(&mut rt, &cp);
-        assert_eq!(d.chains.snapshot(rt.sim()), cp.state(), "software healed it");
+        assert_eq!(
+            d.chains.snapshot(rt.sim()),
+            cp.state(),
+            "software healed it"
+        );
         // Software recovery latency exceeds the monitor's l-cycle pass.
         assert!(restore_rep.cycles >= d.chain_len() as u64);
     }

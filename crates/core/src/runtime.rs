@@ -8,7 +8,7 @@
 //! testbench counters record — error observations, residual corruption
 //! and the per-phase energy that Tables I/II tabulate.
 
-use crate::{MonPhase, MonOutputs, ProposedController, ProposedTiming, ProtectedDesign};
+use crate::{MonOutputs, MonPhase, ProposedController, ProposedTiming, ProtectedDesign};
 use scanguard_dft::{Lfsr, ScanChains};
 use scanguard_netlist::Logic;
 use scanguard_sim::{DomainId, EnergyWindow, Simulator};
@@ -262,9 +262,7 @@ impl<'a> ProtectedRuntime<'a> {
             if out.sample_err && self.sim.value(self.design.monitor.err) == Logic::One {
                 report.error_observed = true;
             }
-            if phase == MonPhase::Check
-                && self.sim.value(self.design.monitor.done) == Logic::One
-            {
+            if phase == MonPhase::Check && self.sim.value(self.design.monitor.done) == Logic::One {
                 report.done_observed = true;
             }
             self.sim.step();

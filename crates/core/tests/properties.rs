@@ -137,7 +137,7 @@ proptest! {
 /// same upset pattern, word by word.
 mod hardware_vs_model {
     use super::*;
-    
+
     use scanguard_codes::{BlockCode, Hamming};
 
     proptest! {

@@ -44,7 +44,10 @@ impl Datapath {
     /// Panics unless `regs` is a power of two `>= 2` and `width >= 1`.
     #[must_use]
     pub fn generate(regs: usize, width: usize) -> Self {
-        assert!(regs.is_power_of_two() && regs >= 2, "regs must be a power of two >= 2");
+        assert!(
+            regs.is_power_of_two() && regs >= 2,
+            "regs must be a power of two >= 2"
+        );
         assert!(width >= 1, "width must be at least 1");
         let abits = regs.trailing_zeros() as usize;
         let mut b = NetlistBuilder::new(&format!("datapath{regs}x{width}"));
@@ -103,9 +106,7 @@ impl Datapath {
             let cc = b.and2(axb, carry);
             carry = b.or2(ab, cc);
         }
-        let xorred: Vec<NetId> = (0..width)
-            .map(|i| b.xor2(acc_qs[i], operand[i]))
-            .collect();
+        let xorred: Vec<NetId> = (0..width).map(|i| b.xor2(acc_qs[i], operand[i])).collect();
 
         // op decode: 00 hold, 01 add, 10 xor, 11 load.
         let after_lo = mux_bus(&mut b, op[0], &acc_qs, &sum); // op0 selects add
@@ -278,9 +279,7 @@ mod tests {
         fn acc(&mut self) -> u64 {
             self.sim.settle();
             (0..self.width)
-                .filter(|i| {
-                    self.sim.port_value(&format!("acc[{i}]")).unwrap() == Logic::One
-                })
+                .filter(|i| self.sim.port_value(&format!("acc[{i}]")).unwrap() == Logic::One)
                 .fold(0, |a, i| a | (1 << i))
         }
     }

@@ -52,7 +52,10 @@ impl Fifo {
     /// Panics unless `depth` is a power of two `>= 2` and `width >= 1`.
     #[must_use]
     pub fn generate(depth: usize, width: usize) -> Self {
-        assert!(depth.is_power_of_two() && depth >= 2, "depth must be a power of two >= 2");
+        assert!(
+            depth.is_power_of_two() && depth >= 2,
+            "depth must be a power of two >= 2"
+        );
         assert!(width >= 1, "width must be at least 1");
         let ptr_bits = depth.trailing_zeros() as usize;
         let cnt_bits = ptr_bits + 1;
@@ -279,9 +282,9 @@ mod tests {
                 sim.set_port(&format!("din[{i}]"), Logic::Zero).unwrap();
             }
             sim.step(); // reset pointers/count
-            // Zero the storage for a deterministic start (real silicon
-            // would come up random; the golden model assumes zeros never
-            // matter because reads are gated by occupancy).
+                        // Zero the storage for a deterministic start (real silicon
+                        // would come up random; the golden model assumes zeros never
+                        // matter because reads are gated by occupancy).
             sim.set_port("rst", Logic::Zero).unwrap();
             Tb { sim, width }
         }
@@ -367,7 +370,9 @@ mod tests {
         let mut model = FifoModel::new(8, 8);
         let mut state = 0x12345678u64;
         for step in 0..400 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let wr = (state >> 60) & 1 == 1;
             let rd = (state >> 61) & 1 == 1;
             let din = (state >> 8) & 0xFF;

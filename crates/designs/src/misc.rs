@@ -97,7 +97,10 @@ pub fn counter_bank(count: usize, width: usize) -> Netlist {
 /// ```
 #[must_use]
 pub fn register_file(words: usize, width: usize) -> Netlist {
-    assert!(words.is_power_of_two() && words >= 2, "words must be a power of two >= 2");
+    assert!(
+        words.is_power_of_two() && words >= 2,
+        "words must be a power of two >= 2"
+    );
     assert!(width >= 1, "width must be at least 1");
     let abits = words.trailing_zeros() as usize;
     let mut b = NetlistBuilder::new(&format!("regfile{words}x{width}"));

@@ -305,9 +305,11 @@ pub fn fault_coverage(
     let mut undetected_sample = Vec::new();
     for &fault in &sampled {
         let faulty = run(Some(fault));
-        let miss = golden.iter().flatten().zip(faulty.iter().flatten()).any(
-            |(&g, &f)| g.is_known() && f.is_known() && g != f,
-        );
+        let miss = golden
+            .iter()
+            .flatten()
+            .zip(faulty.iter().flatten())
+            .any(|(&g, &f)| g.is_known() && f.is_known() && g != f);
         if miss {
             detected += 1;
         } else if undetected_sample.len() < 16 {

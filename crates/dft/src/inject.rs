@@ -140,7 +140,9 @@ impl ErrorPattern {
                 first_chain,
                 span,
                 depth,
-            } => (first_chain..first_chain + span).map(|c| (c, depth)).collect(),
+            } => (first_chain..first_chain + span)
+                .map(|c| (c, depth))
+                .collect(),
         }
     }
 
@@ -214,7 +216,11 @@ mod tests {
 
     fn init_pattern(w: usize, l: usize) -> Vec<Vec<Logic>> {
         (0..w)
-            .map(|k| (0..l).map(|i| Logic::from((k * 3 + i * 5) % 2 == 0)).collect())
+            .map(|k| {
+                (0..l)
+                    .map(|i| Logic::from((k * 3 + i * 5) % 2 == 0))
+                    .collect()
+            })
             .collect()
     }
 

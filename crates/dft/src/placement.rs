@@ -185,7 +185,11 @@ mod tests {
         let mut p = Placement::new();
         for (i, &cell) in cells.iter().enumerate() {
             let s = slots[i];
-            p.place(cell, (s % columns) as f64 * 10.0, (s / columns) as f64 * 10.0);
+            p.place(
+                cell,
+                (s % columns) as f64 * 10.0,
+                (s / columns) as f64 * 10.0,
+            );
         }
         (nl, p)
     }
@@ -193,10 +197,13 @@ mod tests {
     #[test]
     fn snake_and_greedy_beat_cell_order() {
         let mut wl = HashMap::new();
-        for order in [ChainOrder::CellOrder, ChainOrder::Snake, ChainOrder::NearestNeighbour] {
+        for order in [
+            ChainOrder::CellOrder,
+            ChainOrder::Snake,
+            ChainOrder::NearestNeighbour,
+        ] {
             let (mut nl, p) = bank_with_grid(48, 8);
-            let sc =
-                insert_scan_placed(&mut nl, &ScanConfig::with_chains(4), &p, order).unwrap();
+            let sc = insert_scan_placed(&mut nl, &ScanConfig::with_chains(4), &p, order).unwrap();
             wl.insert(format!("{order:?}"), p.scan_wirelength_um(&sc));
         }
         let cell = wl["CellOrder"];
@@ -212,13 +219,8 @@ mod tests {
     #[test]
     fn placed_chains_still_shift_correctly() {
         let (mut nl, p) = bank_with_grid(12, 4);
-        let sc = insert_scan_placed(
-            &mut nl,
-            &ScanConfig::with_chains(3),
-            &p,
-            ChainOrder::Snake,
-        )
-        .unwrap();
+        let sc = insert_scan_placed(&mut nl, &ScanConfig::with_chains(3), &p, ChainOrder::Snake)
+            .unwrap();
         let lib = CellLibrary::st120nm();
         let mut sim = Simulator::new(&nl, &lib);
         for i in 0..12 {

@@ -415,11 +415,7 @@ mod tests {
         // Circulate so -> si for l cycles: the state must return intact.
         let l = sc.max_len();
         for _ in 0..l {
-            let snap: Vec<Logic> = sc
-                .chains
-                .iter()
-                .map(|c| sim.value(c.so))
-                .collect();
+            let snap: Vec<Logic> = sc.chains.iter().map(|c| sim.value(c.so)).collect();
             sc.shift(&mut sim, &snap);
         }
         assert_eq!(sc.snapshot(&sim), pattern, "circulation is lossless");

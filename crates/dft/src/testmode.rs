@@ -93,11 +93,8 @@ pub fn configure_test_mode(
         } else {
             chains.chains[j].si
         };
-        let (muxed, _) = netlist.add_cell(
-            GateKind::Mux2,
-            vec![test_mode, current_src, test_src],
-            None,
-        );
+        let (muxed, _) =
+            netlist.add_cell(GateKind::Mux2, vec![test_mode, current_src, test_src], None);
         netlist.set_cell_input(first, 1, muxed);
     }
     netlist.revalidate().map_err(DftError::Netlist)?;
@@ -106,7 +103,10 @@ pub fn configure_test_mode(
         test_mode,
         test_width,
         test_si: chains.chains[..test_width].iter().map(|c| c.si).collect(),
-        test_so: chains.chains[w - test_width..].iter().map(|c| c.so).collect(),
+        test_so: chains.chains[w - test_width..]
+            .iter()
+            .map(|c| c.so)
+            .collect(),
         test_chain_len: per_group * chains.max_len(),
     })
 }
@@ -115,7 +115,7 @@ pub fn configure_test_mode(
 mod tests {
     use super::*;
     use crate::{insert_scan, ScanConfig};
-    use scanguard_netlist::{CellLibrary, NetlistBuilder, Netlist};
+    use scanguard_netlist::{CellLibrary, Netlist, NetlistBuilder};
 
     fn scanned(ffs: usize, chains: usize) -> (Netlist, ScanChains) {
         let mut b = NetlistBuilder::new("regs");
@@ -163,11 +163,7 @@ mod tests {
             sim.set_net(c.si, Logic::Zero);
         }
         let pattern: Vec<Vec<Logic>> = (0..2)
-            .map(|g| {
-                (0..8)
-                    .map(|i| Logic::from((i * 3 + g) % 2 == 0))
-                    .collect()
-            })
+            .map(|g| (0..8).map(|i| Logic::from((i * 3 + g) % 2 == 0)).collect())
             .collect();
         // Shift the pattern in (8 cycles).
         for i in 0..8 {

@@ -3,6 +3,8 @@
 //! ```text
 //! scanguard cost     --depth 32 --width 32 --chains 80 --code hamming:3
 //! scanguard sweep    --depth 32 --width 32 --code crc16 --chains 4,8,16,40,80
+//! scanguard explore  --design fifo32x32 --threads 8 --out space.json
+//! scanguard pareto   --in space.json --objectives area,latency
 //! scanguard validate --sequences 20 --mode burst
 //! scanguard fig10    --sequences 10000
 //! scanguard rush     --trials 2000
@@ -11,6 +13,7 @@
 
 use scanguard_core::{break_even, cost_header, measure_cost, CodeChoice, Synthesizer};
 use scanguard_designs::Fifo;
+use scanguard_explore::{report, DesignSpec, Objective, SpaceReport, SpaceSpec};
 use scanguard_harness::{
     ablation_rush, cost_sweep, fig10_family, print_table, validation, Fig10Config,
 };
@@ -23,7 +26,7 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match parse_opts(rest) {
+    let opts = match parse_opts(rest).and_then(|o| check_keys(cmd, &o).map(|()| o)) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -33,6 +36,8 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "cost" => cmd_cost(&opts),
         "sweep" => cmd_sweep(&opts),
+        "explore" => cmd_explore(&opts),
+        "pareto" => cmd_pareto(&opts),
         "validate" => cmd_validate(&opts),
         "fig10" => cmd_fig10(&opts),
         "rush" => cmd_rush(&opts),
@@ -63,6 +68,14 @@ COMMANDS:
               --depth N --width N --chains N --code CODE [--test-width N]
   sweep     cost table across chain counts
               --depth N --width N --code CODE --chains N,N,...
+              [--json FILE] [--csv FILE]
+  explore   evaluate the (W, code, wake) design space in parallel
+              --design fifo32x32|datapath8x16|regfile16x8|...
+              [--threads N] [--wmin N] [--wmax N] [--trials N]
+              [--out FILE] [--csv FILE]
+  pareto    Pareto front / knee-point over an explore result
+              --in FILE [--objectives area,latency,...]
+              [--recommend true] [--weights W,W,...]
   validate  run the Fig. 8 testbench (32x32 FIFO, 80 chains)
               [--sequences N] [--mode single|burst|none]
   fig10     Monte-Carlo correction-ability curves
@@ -78,6 +91,61 @@ COMMANDS:
               --depth N --width N --chains N --code CODE [--out FILE]
 
 CODE: crc16 | hamming:M | secded:M | parity:GW   (M = parity bits, 3..=6)";
+
+/// The options each command understands; anything else is a typo the
+/// user should hear about rather than a silently ignored no-op.
+const COMMAND_KEYS: &[(&str, &[&str])] = &[
+    ("cost", &["depth", "width", "chains", "code", "test-width"]),
+    (
+        "sweep",
+        &["depth", "width", "code", "chains", "json", "csv"],
+    ),
+    (
+        "explore",
+        &["design", "threads", "wmin", "wmax", "trials", "out", "csv"],
+    ),
+    ("pareto", &["in", "objectives", "recommend", "weights"]),
+    ("validate", &["sequences", "mode"]),
+    ("fig10", &["sequences", "burst"]),
+    ("rush", &["trials"]),
+    (
+        "coverage",
+        &[
+            "depth",
+            "width",
+            "chains",
+            "code",
+            "test-width",
+            "patterns",
+            "max-faults",
+            "scope",
+        ],
+    ),
+    (
+        "verilog",
+        &["depth", "width", "chains", "code", "test-width", "out"],
+    ),
+    (
+        "json",
+        &["depth", "width", "chains", "code", "test-width", "out"],
+    ),
+];
+
+fn check_keys(cmd: &str, opts: &HashMap<String, String>) -> Result<(), String> {
+    let Some((_, keys)) = COMMAND_KEYS.iter().find(|(c, _)| *c == cmd) else {
+        return Ok(());
+    };
+    match opts.keys().find(|k| !keys.contains(&k.as_str())) {
+        Some(bad) => Err(format!(
+            "unknown option --{bad} for {cmd} (valid: {})",
+            keys.iter()
+                .map(|k| format!("--{k}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        )),
+        None => Ok(()),
+    }
+}
 
 fn parse_opts(rest: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
@@ -178,7 +246,11 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         .get("chains")
         .map_or("4,8,16,40,80", String::as_str)
         .split(',')
-        .map(|s| s.trim().parse().map_err(|_| format!("bad chain count {s:?}")))
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad chain count {s:?}"))
+        })
         .collect::<Result<_, _>>()?;
     let rows = cost_sweep(depth, width, code, &chains);
     print_table(
@@ -187,10 +259,116 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         &rows.iter().map(ToString::to_string).collect::<Vec<_>>(),
     );
     if let Some(path) = opts.get("json") {
-        let doc = serde_json::to_string_pretty(&rows)
-            .map_err(|e| format!("encoding rows: {e}"))?;
-        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+        report::write_file(path, &report::cost_rows_json(&rows)?)?;
         println!("wrote {path}");
+    }
+    if let Some(path) = opts.get("csv") {
+        report::write_file(path, &report::cost_rows_csv(&rows))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_explore(opts: &HashMap<String, String>) -> Result<(), String> {
+    let design = DesignSpec::parse(opts.get("design").map_or("fifo32x32", String::as_str))?;
+    let threads = get(opts, "threads", num_threads_default())?;
+    let mut spec = SpaceSpec::paper(design);
+    spec.w_min = get(opts, "wmin", spec.w_min)?;
+    spec.w_max = get(opts, "wmax", spec.w_max)?;
+    spec.trials = get(opts, "trials", spec.trials)?;
+    let n = spec.enumerate().len();
+    println!(
+        "exploring {} ({} flops): {} points on {} threads...",
+        design.label(),
+        design.ff_count(),
+        n,
+        threads
+    );
+    let result = scanguard_explore::explore(&spec, threads)?;
+    println!(
+        "evaluated {} points ({} unique builds, {} cache hits)",
+        result.points.len(),
+        result.cache.misses,
+        result.cache.hits
+    );
+    print_front(
+        &result,
+        &[Objective::AreaOverheadPct, Objective::LatencyNs],
+        None,
+    )?;
+    if let Some(path) = opts.get("out") {
+        report::write_file(path, &result.to_json()?)?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = opts.get("csv") {
+        report::write_file(path, &result.to_csv())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn num_threads_default() -> usize {
+    std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+}
+
+fn cmd_pareto(opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = opts.get("in").ok_or("pareto needs --in FILE")?;
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let result = SpaceReport::from_json(&doc)?;
+    let objectives = match opts.get("objectives") {
+        Some(list) => Objective::parse_list(list)?,
+        None => vec![Objective::AreaOverheadPct, Objective::LatencyNs],
+    };
+    let recommend = get(opts, "recommend", false)?;
+    let weights: Vec<f64> = match opts.get("weights") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("bad weight {s:?}")))
+            .collect::<Result<_, _>>()?,
+        None => vec![1.0; objectives.len()],
+    };
+    print_front(&result, &objectives, recommend.then_some(&weights))?;
+    Ok(())
+}
+
+/// Prints the Pareto front of `result` under `objectives`; with
+/// `weights`, also the knee-point recommendation.
+fn print_front(
+    result: &SpaceReport,
+    objectives: &[Objective],
+    weights: Option<&Vec<f64>>,
+) -> Result<(), String> {
+    let front = scanguard_explore::front_of(&result.points, objectives);
+    let names: Vec<&str> = objectives.iter().map(Objective::name).collect();
+    println!(
+        "Pareto front under ({}): {} of {} points",
+        names.join(", "),
+        front.len(),
+        result.points.len()
+    );
+    for &i in &front {
+        let p = &result.points[i];
+        let values: Vec<String> = objectives
+            .iter()
+            .map(|o| format!("{}={:.3}", o.name(), o.value(p)))
+            .collect();
+        println!(
+            "  #{:<4} {:<16} W={:<4} {:<14} {}",
+            p.id,
+            p.code,
+            p.chains,
+            p.wake,
+            values.join("  ")
+        );
+    }
+    if let Some(weights) = weights {
+        let knee = scanguard_explore::knee_point(&result.points, &front, objectives, weights)
+            .ok_or("empty front, nothing to recommend")?;
+        let p = &result.points[knee];
+        println!(
+            "recommend: #{} {} W={} {} (weights {:?})",
+            p.id, p.code, p.chains, p.wake, weights
+        );
     }
     Ok(())
 }
@@ -207,7 +385,10 @@ fn cmd_validate(opts: &HashMap<String, String>) -> Result<(), String> {
     let show = |name: &str, s: scanguard_harness::ValidationStats| {
         println!(
             "  {name:<28} reported {}/{}  corrected {}/{}  comparator mismatches {}",
-            s.errors_reported, s.sequences, s.sequences_recovered, s.sequences,
+            s.errors_reported,
+            s.sequences,
+            s.sequences_recovered,
+            s.sequences,
             s.comparator_mismatches
         );
     };
@@ -227,7 +408,10 @@ fn cmd_fig10(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     println!("corrected % per injected-error count (1..=10), {sequences} sequences/point:");
     for (name, pts) in fig10_family(&cfg) {
-        let series: Vec<String> = pts.iter().map(|p| format!("{:.1}", p.corrected_pct)).collect();
+        let series: Vec<String> = pts
+            .iter()
+            .map(|p| format!("{:.1}", p.corrected_pct))
+            .collect();
         println!("  {name:<16} {}", series.join("  "));
     }
     Ok(())
@@ -320,7 +504,10 @@ fn cmd_coverage(opts: &HashMap<String, String>) -> Result<(), String> {
         report.coverage_pct()
     );
     if !report.undetected_sample.is_empty() {
-        println!("sample undetected: {:?}", &report.undetected_sample[..report.undetected_sample.len().min(5)]);
+        println!(
+            "sample undetected: {:?}",
+            &report.undetected_sample[..report.undetected_sample.len().min(5)]
+        );
     }
     Ok(())
 }

@@ -1,0 +1,152 @@
+//! Memoized synthesis: one build per `(design, W, code)`, shared by the
+//! wake-strategy variants.
+//!
+//! Synthesizing and cost-measuring a protected design dominates a
+//! point's evaluation; the wake axis only changes the power-network
+//! transient and the Monte-Carlo recovery run. The cache keys builds by
+//! the configuration that actually determines the netlist, so a space
+//! with three wake strategies does a third of the naive build count.
+//!
+//! Concurrency: the map hands out one `Arc<OnceLock>` cell per key;
+//! [`std::sync::OnceLock::get_or_init`] guarantees exactly one builder
+//! runs per key while concurrent lookups for the same key block until
+//! the value lands. Hit/miss counts are therefore deterministic
+//! (misses = unique keys touched), which the byte-identical-output
+//! guarantee relies on.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Identity of a synthesized build (wake strategy excluded on purpose).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BuildKey {
+    /// Design label (e.g. `fifo32x32`).
+    pub design: String,
+    /// Chain count `W`.
+    pub chains: usize,
+    /// Code display name (stable per [`scanguard_core::CodeChoice`]).
+    pub code: String,
+}
+
+/// Cache statistics, reported alongside exploration results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found (or waited for) an existing build.
+    pub hits: usize,
+    /// Lookups that ran the builder (= unique keys).
+    pub misses: usize,
+}
+
+/// A concurrent, memoizing build cache.
+pub struct SynthCache<T> {
+    cells: Mutex<HashMap<BuildKey, Arc<OnceLock<Arc<T>>>>>,
+    builds: AtomicUsize,
+    lookups: AtomicUsize,
+}
+
+impl<T> std::fmt::Debug for SynthCache<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynthCache")
+            .field("entries", &self.cells.lock().map(|m| m.len()).unwrap_or(0))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> Default for SynthCache<T> {
+    fn default() -> Self {
+        SynthCache {
+            cells: Mutex::new(HashMap::new()),
+            builds: AtomicUsize::new(0),
+            lookups: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<T> SynthCache<T> {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached value for `key`, running `build` (once,
+    /// globally) if absent. Concurrent callers for the same key block
+    /// until the single builder finishes.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a poisoned map lock (a builder panicked).
+    pub fn get_or_build<F: FnOnce() -> T>(&self, key: BuildKey, build: F) -> Arc<T> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let cell = {
+            let mut map = self.cells.lock().expect("cache lock");
+            Arc::clone(map.entry(key).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(build())
+        }))
+    }
+
+    /// Hit/miss counts so far. Deterministic for a fixed point set:
+    /// misses equal the number of distinct keys, hits the remainder.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let misses = self.builds.load(Ordering::Relaxed);
+        CacheStats {
+            hits: self.lookups.load(Ordering::Relaxed) - misses,
+            misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(w: usize) -> BuildKey {
+        BuildKey {
+            design: "d".into(),
+            chains: w,
+            code: "c".into(),
+        }
+    }
+
+    #[test]
+    fn second_lookup_reuses_the_build() {
+        let cache = SynthCache::new();
+        let a = cache.get_or_build(key(4), || 42);
+        let b = cache.get_or_build(key(4), || unreachable!("must be cached"));
+        assert_eq!(*a, 42);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_keys_build_separately() {
+        let cache = SynthCache::new();
+        cache.get_or_build(key(4), || 1);
+        cache.get_or_build(key(8), || 2);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_once() {
+        let cache = SynthCache::new();
+        let built = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    cache.get_or_build(key(4), || {
+                        built.fetch_add(1, Ordering::Relaxed);
+                        7
+                    })
+                });
+            }
+        });
+        assert_eq!(built.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 7);
+    }
+}

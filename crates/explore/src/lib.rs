@@ -1,0 +1,277 @@
+//! # scanguard-explore
+//!
+//! Parallel design-space exploration for scan-based state retention
+//! (Yang et al., DATE 2010). The paper's Sec. V walks the trade-off
+//! between chain count, code choice and monitoring cost by hand
+//! (Tables I–III, Fig. 9); this crate turns that walk into an engine:
+//!
+//! * [`SpaceSpec`] — enumerate the cross-product of design, chain count
+//!   `W`, [`CodeChoice`] and wake strategy, keeping only feasible
+//!   combinations (`W` divides the flop count and tiles the code's
+//!   group width);
+//! * [`explore`] — evaluate every point's cost/reliability vector on a
+//!   work-stealing scoped-thread pool, memoizing synthesized designs by
+//!   `(design, W, code)` so the wake-strategy variants share one build;
+//! * [`pareto`] — exact multi-objective Pareto fronts over any
+//!   objective subset, plus a weighted knee-point recommendation;
+//! * [`report`] — flat, deterministic JSON/CSV records: the same space
+//!   yields byte-identical output at any thread count.
+//!
+//! ```
+//! use scanguard_explore::{explore, DesignSpec, SpaceSpec};
+//!
+//! let mut spec = SpaceSpec::paper(DesignSpec::Fifo { depth: 4, width: 4 });
+//! spec.trials = 20; // keep the doctest fast
+//! let report = explore(&spec, 2).unwrap();
+//! assert!(!report.points.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod pareto;
+pub mod report;
+pub mod space;
+pub mod worker;
+
+pub use cache::{BuildKey, CacheStats, SynthCache};
+pub use pareto::{front_of, knee_point, Objective, ALL_OBJECTIVES};
+pub use report::{PointResult, SpaceReport};
+pub use space::{DesignSpec, ExplorePoint, SpaceSpec, WakeSpec};
+pub use worker::run_pool;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scanguard_codes::SequenceCodec;
+use scanguard_core::{break_even, measure_cost, BreakEven, CodeChoice, CostRow, Synthesizer};
+use scanguard_power::{PowerNetwork, UpsetModel};
+
+/// What one synthesis run contributes to every wake variant of a
+/// `(design, W, code)` configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildMetrics {
+    /// The measured cost row.
+    pub row: CostRow,
+    /// Break-even sleep analysis for the same run.
+    pub break_even: BreakEven,
+    /// The design's clock, MHz (wake cycles are counted at it).
+    pub clock_mhz: f64,
+}
+
+/// FNV-1a over a key string: the deterministic per-point seed source.
+fn seed_of(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Synthesizes and measures one `(design, W, code)` configuration.
+///
+/// # Errors
+///
+/// Returns the synthesizer's message for an infeasible configuration
+/// (the enumerator should have filtered those out).
+pub fn build_metrics(
+    design: &DesignSpec,
+    chains: usize,
+    code: CodeChoice,
+) -> Result<BuildMetrics, String> {
+    let built = Synthesizer::new(design.netlist())
+        .chains(chains)
+        .code(code)
+        .build()
+        .map_err(|e| format!("{}/W{chains}/{}: {e}", design.label(), code.name()))?;
+    let seed = seed_of(&format!("{}/W{chains}/{}", design.label(), code.name()));
+    let row = measure_cost(&built, seed);
+    let be = break_even(&built, &row);
+    Ok(BuildMetrics {
+        row,
+        break_even: be,
+        clock_mhz: built.clock_mhz,
+    })
+}
+
+/// Evaluates one point: the memoized build metrics plus this wake
+/// strategy's transient and Monte-Carlo recovery outcome.
+///
+/// The recovery model follows the harness's rush ablation: upsets
+/// cluster along the chain-major latch array while codewords run across
+/// chains at equal depth, so physical latch `i` (chain `i / l`, depth
+/// `i % l`) is sequence bit `depth * W + chain`. Codes that only detect
+/// (CRC, parity) leave corrupted state corrupted — their residual rate
+/// is the upset rate.
+///
+/// # Errors
+///
+/// Propagates a build failure, naming the point.
+pub fn evaluate_point(
+    point: &ExplorePoint,
+    cache: &SynthCache<Result<BuildMetrics, String>>,
+    trials: u64,
+) -> Result<PointResult, String> {
+    let build = cache.get_or_build(
+        BuildKey {
+            design: point.design.label(),
+            chains: point.chains,
+            code: point.code.name(),
+        },
+        || build_metrics(&point.design, point.chains, point.code),
+    );
+    let metrics = build.as_ref().as_ref().map_err(String::clone)?;
+    let chain_len = metrics.row.chain_len;
+
+    let network = PowerNetwork::default_120nm();
+    let upsets = UpsetModel::default_120nm();
+    let event = point.wake.strategy().wake(&network);
+    // Decode runs after the rail settles: chain_len shift cycles plus
+    // the clear/capture bookkeeping pair.
+    let wake_cycles = event.wake_cycles(metrics.clock_mhz) + chain_len as u64 + 2;
+
+    let latches = point.chains * chain_len;
+    let codec = if point.code.corrects() {
+        point
+            .code
+            .block_code()
+            .map_err(|e| format!("{}: {e}", point.key()))?
+            .map(SequenceCodec::new)
+    } else {
+        None
+    };
+    let seed = seed_of(&point.key());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut upset_events = 0u64;
+    let mut residual_events = 0u64;
+    for t in 0..trials {
+        let flips = upsets.upsets(event.peak_bounce_v, latches, seed ^ (t + 1));
+        if flips.is_empty() {
+            continue;
+        }
+        upset_events += 1;
+        let Some(codec) = &codec else {
+            residual_events += 1;
+            continue;
+        };
+        let original: Vec<bool> = (0..latches).map(|_| rng.gen()).collect();
+        let parities = codec.protect(&original);
+        let mut corrupted = original.clone();
+        for &i in &flips {
+            let (c, d) = (i / chain_len, i % chain_len);
+            let pos = d * point.chains + c;
+            corrupted[pos] = !corrupted[pos];
+        }
+        codec.recover(&mut corrupted, &parities);
+        if corrupted != original {
+            residual_events += 1;
+        }
+    }
+    let trials_f = trials.max(1) as f64;
+
+    Ok(PointResult {
+        id: point.id,
+        design: point.design.label(),
+        code: point.code.name(),
+        chains: point.chains,
+        chain_len,
+        wake: point.wake.label(),
+        area_um2: metrics.row.area_um2,
+        area_overhead_pct: metrics.row.overhead_pct,
+        enc_power_mw: metrics.row.enc_power_mw,
+        dec_power_mw: metrics.row.dec_power_mw,
+        enc_energy_nj: metrics.row.enc_energy_nj,
+        dec_energy_nj: metrics.row.dec_energy_nj,
+        latency_ns: metrics.row.latency_ns,
+        wake_cycles,
+        peak_bounce_v: event.peak_bounce_v,
+        upset_prob: upset_events as f64 / trials_f,
+        residual_upset_prob: residual_events as f64 / trials_f,
+        min_sleep_us: metrics.break_even.min_sleep_us,
+    })
+}
+
+/// Explores the whole space on `threads` workers.
+///
+/// Results are ordered by point id and are a pure function of `spec` —
+/// the thread count changes wall-clock time, nothing else.
+///
+/// # Errors
+///
+/// Returns the first (by point id) build failure.
+pub fn explore(spec: &SpaceSpec, threads: usize) -> Result<SpaceReport, String> {
+    let points = spec.enumerate();
+    let ff_count = spec.design.ff_count();
+    let cache: SynthCache<Result<BuildMetrics, String>> = SynthCache::new();
+    let results = run_pool(points.len(), threads, |i| {
+        evaluate_point(&points[i], &cache, spec.trials)
+    });
+    let evaluated: Result<Vec<PointResult>, String> = results.into_iter().collect();
+    Ok(SpaceReport {
+        design: spec.design.label(),
+        ff_count,
+        trials: spec.trials,
+        cache: cache.stats(),
+        points: evaluated?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SpaceSpec {
+        let mut spec = SpaceSpec::paper(DesignSpec::Fifo { depth: 4, width: 4 });
+        spec.trials = 10;
+        spec
+    }
+
+    #[test]
+    fn tiny_space_explores_clean() {
+        let spec = tiny_spec();
+        let report = explore(&spec, 2).unwrap();
+        assert_eq!(report.points.len(), spec.enumerate().len());
+        assert!(!report.points.is_empty());
+        for (i, p) in report.points.iter().enumerate() {
+            assert_eq!(p.id, i);
+            assert!(p.area_um2 > 0.0);
+            assert!(p.latency_ns > 0.0);
+            assert!(p.wake_cycles > 0);
+            assert!(p.residual_upset_prob <= p.upset_prob + 1e-12);
+        }
+    }
+
+    #[test]
+    fn wake_variants_share_builds() {
+        let spec = tiny_spec();
+        let report = explore(&spec, 4).unwrap();
+        let wakes = spec.wakes.len();
+        assert_eq!(report.cache.misses * wakes, report.points.len());
+        assert_eq!(report.cache.hits, report.points.len() - report.cache.misses);
+    }
+
+    #[test]
+    fn detect_only_codes_cannot_correct() {
+        let spec = tiny_spec();
+        let report = explore(&spec, 2).unwrap();
+        for p in report.points.iter().filter(|p| p.code == "CRC-16") {
+            assert!(
+                (p.residual_upset_prob - p.upset_prob).abs() < 1e-12,
+                "CRC leaves upsets in place: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn point_seed_is_stable() {
+        // The seed derives from the key string alone; pin one value so
+        // accidental key-format changes (which would shift every
+        // published number) fail loudly.
+        assert_eq!(seed_of(""), 0xcbf2_9ce4_8422_2325);
+        let spec = tiny_spec();
+        let p = &spec.enumerate()[0];
+        assert_eq!(seed_of(&p.key()), seed_of(&p.key()));
+    }
+}

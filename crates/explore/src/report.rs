@@ -1,0 +1,270 @@
+//! Result records and their serialized forms (JSON and CSV).
+//!
+//! Everything here is deliberately flat and `HashMap`-free: the JSON a
+//! run writes is a pure function of the evaluated space, so two runs of
+//! the same space — at any thread count — produce byte-identical files
+//! (`tests/determinism.rs` pins that).
+
+use crate::cache::CacheStats;
+use scanguard_core::CostRow;
+
+/// Everything measured for one design point.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PointResult {
+    /// Stable point id (enumeration order).
+    pub id: usize,
+    /// Design label (e.g. `fifo32x32`).
+    pub design: String,
+    /// Code display name.
+    pub code: String,
+    /// Chain count `W`.
+    pub chains: usize,
+    /// Chain length `l`.
+    pub chain_len: usize,
+    /// Wake-strategy label.
+    pub wake: String,
+    /// Protected total area, um^2.
+    pub area_um2: f64,
+    /// Monitor overhead over the scanned baseline, %.
+    pub area_overhead_pct: f64,
+    /// Encoding power, mW.
+    pub enc_power_mw: f64,
+    /// Decoding power, mW.
+    pub dec_power_mw: f64,
+    /// Encode energy per sleep episode, nJ.
+    pub enc_energy_nj: f64,
+    /// Decode energy per sleep episode, nJ.
+    pub dec_energy_nj: f64,
+    /// Encode/decode latency `l x T`, ns.
+    pub latency_ns: f64,
+    /// Wake-to-usable latency: rail settle plus decode, cycles.
+    pub wake_cycles: u64,
+    /// Peak shared-rail bounce on wake, V.
+    pub peak_bounce_v: f64,
+    /// Fraction of wake events with at least one retention upset.
+    pub upset_prob: f64,
+    /// Fraction of wake events ending with corrupted state (after
+    /// correction, when the code corrects).
+    pub residual_upset_prob: f64,
+    /// Break-even sleep duration for a net energy win, us.
+    pub min_sleep_us: f64,
+}
+
+impl PointResult {
+    /// An all-zero record (test scaffolding for Pareto analysis).
+    #[must_use]
+    pub fn zeroed() -> Self {
+        PointResult {
+            id: 0,
+            design: String::new(),
+            code: String::new(),
+            chains: 0,
+            chain_len: 0,
+            wake: String::new(),
+            area_um2: 0.0,
+            area_overhead_pct: 0.0,
+            enc_power_mw: 0.0,
+            dec_power_mw: 0.0,
+            enc_energy_nj: 0.0,
+            dec_energy_nj: 0.0,
+            latency_ns: 0.0,
+            wake_cycles: 0,
+            peak_bounce_v: 0.0,
+            upset_prob: 0.0,
+            residual_upset_prob: 0.0,
+            min_sleep_us: 0.0,
+        }
+    }
+
+    /// The CSV column order of [`PointResult::csv_row`].
+    #[must_use]
+    pub fn csv_header() -> String {
+        "id,design,code,chains,chain_len,wake,area_um2,area_overhead_pct,\
+         enc_power_mw,dec_power_mw,enc_energy_nj,dec_energy_nj,latency_ns,\
+         wake_cycles,peak_bounce_v,upset_prob,residual_upset_prob,min_sleep_us"
+            .to_owned()
+    }
+
+    /// One CSV row (codes may contain commas, so they are quoted).
+    #[must_use]
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},\"{}\",{},{},{},{:.2},{:.3},{:.4},{:.4},{:.4},{:.4},{:.1},{},{:.4},{:.5},{:.5},{:.3}",
+            self.id,
+            self.design,
+            self.code,
+            self.chains,
+            self.chain_len,
+            self.wake,
+            self.area_um2,
+            self.area_overhead_pct,
+            self.enc_power_mw,
+            self.dec_power_mw,
+            self.enc_energy_nj,
+            self.dec_energy_nj,
+            self.latency_ns,
+            self.wake_cycles,
+            self.peak_bounce_v,
+            self.upset_prob,
+            self.residual_upset_prob,
+            self.min_sleep_us
+        )
+    }
+}
+
+/// A full exploration result: the space's identity plus every point.
+///
+/// Thread count and wall-clock are deliberately absent — the report is
+/// a function of the space, not of how it was scheduled.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpaceReport {
+    /// Design label.
+    pub design: String,
+    /// Flop count of the design (the chain axis divides it).
+    pub ff_count: usize,
+    /// Monte-Carlo wake trials per point.
+    pub trials: u64,
+    /// Build-cache statistics (misses = unique syntheses).
+    pub cache: CacheStats,
+    /// Every evaluated point, ordered by id.
+    pub points: Vec<PointResult>,
+}
+
+impl SpaceReport {
+    /// Serializes the report as pretty JSON (stable byte-for-byte for a
+    /// given space; see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns an encoding error (non-finite floats).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| format!("encoding report: {e}"))
+    }
+
+    /// Parses a report back from [`SpaceReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse/shape error message.
+    pub fn from_json(doc: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(doc).map_err(|e| format!("parsing report: {e}"))?;
+        serde_json::from_value(&value).map_err(|e| format!("decoding report: {e}"))
+    }
+
+    /// Serializes the points as CSV (header + one row per point).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = PointResult::csv_header();
+        out.push('\n');
+        for p in &self.points {
+            out.push_str(&p.csv_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Serializes cost rows (the `sweep` command's table) as pretty JSON.
+///
+/// # Errors
+///
+/// Returns an encoding error (non-finite floats).
+pub fn cost_rows_json(rows: &[CostRow]) -> Result<String, String> {
+    serde_json::to_string_pretty(&rows).map_err(|e| format!("encoding rows: {e}"))
+}
+
+/// Serializes cost rows as CSV, mirroring the paper-table columns.
+#[must_use]
+pub fn cost_rows_csv(rows: &[CostRow]) -> String {
+    let mut out = String::from(
+        "code,chains,chain_len,area_um2,overhead_pct,enc_power_mw,dec_power_mw,\
+         latency_ns,enc_energy_nj,dec_energy_nj\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "\"{}\",{},{},{:.2},{:.3},{:.4},{:.4},{:.1},{:.4},{:.4}\n",
+            r.code,
+            r.chains,
+            r.chain_len,
+            r.area_um2,
+            r.overhead_pct,
+            r.enc_power_mw,
+            r.dec_power_mw,
+            r.latency_ns,
+            r.enc_energy_nj,
+            r.dec_energy_nj
+        ));
+    }
+    out
+}
+
+/// Writes `content` to `path`, mapping IO errors to a message naming
+/// the path.
+///
+/// # Errors
+///
+/// Returns the rendered IO error.
+pub fn write_file(path: &str, content: &str) -> Result<(), String> {
+    std::fs::write(path, content).map_err(|e| format!("writing {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> SpaceReport {
+        let mut p = PointResult::zeroed();
+        p.design = "fifo4x4".into();
+        p.code = "Hamming(7,4)".into();
+        p.chains = 4;
+        p.wake = "full-bank".into();
+        p.area_um2 = 1234.5;
+        SpaceReport {
+            design: "fifo4x4".into(),
+            ff_count: 40,
+            trials: 10,
+            cache: CacheStats { hits: 0, misses: 1 },
+            points: vec![p],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = tiny_report();
+        let doc = r.to_json().unwrap();
+        let back = SpaceReport::from_json(&doc).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn csv_has_header_plus_rows() {
+        let r = tiny_report();
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // "Hamming(7,4)" is quoted, so its comma is not a separator.
+        let row_cols = lines[1].split(',').count() - 1;
+        assert_eq!(lines[0].split(',').count(), row_cols);
+        assert!(lines[1].contains("\"Hamming(7,4)\""));
+    }
+
+    #[test]
+    fn cost_rows_csv_aligns_with_fields() {
+        let row = CostRow {
+            code: "CRC-16".into(),
+            chains: 4,
+            chain_len: 260,
+            area_um2: 73658.0,
+            overhead_pct: 2.8,
+            enc_power_mw: 4.99,
+            dec_power_mw: 4.99,
+            latency_ns: 2600.0,
+            enc_energy_nj: 12.97,
+            dec_energy_nj: 12.97,
+        };
+        let csv = cost_rows_csv(&[row]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+}

@@ -1,0 +1,38 @@
+//! Exploration output is a pure function of the space: the serialized
+//! report is byte-identical whether one worker or eight evaluated it.
+
+use scanguard_explore::{explore, DesignSpec, SpaceSpec};
+
+fn small_spec() -> SpaceSpec {
+    let mut spec = SpaceSpec::paper(DesignSpec::Fifo { depth: 8, width: 8 });
+    spec.trials = 50;
+    spec
+}
+
+#[test]
+fn one_and_eight_threads_serialize_identically() {
+    let spec = small_spec();
+    let sequential = explore(&spec, 1).unwrap();
+    let parallel = explore(&spec, 8).unwrap();
+    assert_eq!(sequential, parallel, "structural mismatch");
+    let a = sequential.to_json().unwrap();
+    let b = parallel.to_json().unwrap();
+    assert_eq!(a.as_bytes(), b.as_bytes(), "serialized bytes differ");
+}
+
+#[test]
+fn repeated_runs_are_stable() {
+    let spec = small_spec();
+    let first = explore(&spec, 4).unwrap().to_json().unwrap();
+    let second = explore(&spec, 4).unwrap().to_json().unwrap();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn csv_is_deterministic_too() {
+    let spec = small_spec();
+    assert_eq!(
+        explore(&spec, 1).unwrap().to_csv(),
+        explore(&spec, 8).unwrap().to_csv()
+    );
+}

@@ -1,0 +1,76 @@
+//! Property tests for the exact Pareto-front computation: the front
+//! contains no dominated point, and every excluded point is dominated
+//! by some front member.
+
+use proptest::prelude::*;
+use scanguard_explore::pareto::{dominates, pareto_front};
+
+/// Random objective matrices: 1..=40 points, 1..=4 objectives, small
+/// integer-valued coordinates so ties and duplicates actually occur.
+fn matrices() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..=40, 1usize..=4).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(
+            proptest::collection::vec((0u32..8).prop_map(f64::from), d),
+            n,
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn front_contains_no_dominated_point(vs in matrices()) {
+        let front = pareto_front(&vs);
+        prop_assert!(!front.is_empty(), "a non-empty set has a front");
+        for &i in &front {
+            for v in &vs {
+                prop_assert!(
+                    !dominates(v, &vs[i]),
+                    "front member {i} is dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_excluded_point_is_dominated(vs in matrices()) {
+        let front = pareto_front(&vs);
+        for i in 0..vs.len() {
+            if front.contains(&i) {
+                continue;
+            }
+            prop_assert!(
+                front.iter().any(|&f| dominates(&vs[f], &vs[i])),
+                "excluded point {i} is dominated by no front member"
+            );
+        }
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(
+        a in proptest::collection::vec((0u32..8).prop_map(f64::from), 3),
+        b in proptest::collection::vec((0u32..8).prop_map(f64::from), 3),
+    ) {
+        prop_assert!(!dominates(&a, &a));
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+    }
+
+    #[test]
+    fn front_is_invariant_under_duplication(vs in matrices()) {
+        // Appending a copy of an existing point never changes which
+        // *values* are optimal.
+        let front = pareto_front(&vs);
+        let mut doubled = vs.clone();
+        doubled.push(vs[0].clone());
+        let front2 = pareto_front(&doubled);
+        let values = |f: &[usize], m: &[Vec<f64>]| -> Vec<Vec<u64>> {
+            let mut v: Vec<Vec<u64>> = f
+                .iter()
+                .map(|&i| m[i].iter().map(|x| x.to_bits()).collect())
+                .collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        prop_assert_eq!(values(&front, &vs), values(&front2, &doubled));
+    }
+}

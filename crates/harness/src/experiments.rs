@@ -34,11 +34,11 @@ pub fn paper_fifo() -> Fifo {
 /// (use multiples of `code.group_width()`).
 #[must_use]
 pub fn cost_sweep(depth: usize, width: usize, code: CodeChoice, sweep: &[usize]) -> Vec<CostRow> {
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = sweep
             .iter()
             .map(|&w| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let fifo = Fifo::generate(depth, width);
                     let design = Synthesizer::new(fifo.netlist)
                         .chains(w)
@@ -54,7 +54,6 @@ pub fn cost_sweep(depth: usize, width: usize, code: CodeChoice, sweep: &[usize])
             .map(|h| h.join().expect("cost worker panicked"))
             .collect()
     })
-    .expect("cost sweep scope panicked")
 }
 
 /// **Table I**: CRC-16 cost sweep on the 32x32 FIFO.
@@ -101,11 +100,11 @@ pub fn table3() -> Vec<Table3Row> {
 #[must_use]
 pub fn table3_on(depth: usize, width: usize) -> Vec<Table3Row> {
     let configs: Vec<(u32, usize)> = (3..=6).zip(TABLE3_W).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = configs
             .into_iter()
             .map(|(m, w)| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let fifo = Fifo::generate(depth, width);
                     let design = Synthesizer::new(fifo.netlist)
                         .chains(w)
@@ -132,7 +131,6 @@ pub fn table3_on(depth: usize, width: usize) -> Vec<Table3Row> {
             .map(|h| h.join().expect("table3 worker panicked"))
             .collect()
     })
-    .expect("table3 scope panicked")
 }
 
 /// **Sec. IV validation**, experiment 1 and 2: single-error injection

@@ -202,7 +202,9 @@ impl FifoTestbench {
         sim.set_port("wr_en", Logic::Zero).expect("fifo has wr_en");
         sim.set_port("rd_en", Logic::Zero).expect("fifo has rd_en");
         rt.functional_step();
-        rt.sim_mut().set_port("rst", Logic::Zero).expect("fifo has rst");
+        rt.sim_mut()
+            .set_port("rst", Logic::Zero)
+            .expect("fifo has rst");
     }
 
     fn write(&self, rt: &mut scanguard_core::ProtectedRuntime<'_>, data: u64) {
@@ -224,7 +226,11 @@ impl FifoTestbench {
         sim.settle();
         let mut v = 0u64;
         for i in 0..self.width {
-            match sim.port_value(&format!("dout[{i}]")).expect("dout").to_bool() {
+            match sim
+                .port_value(&format!("dout[{i}]"))
+                .expect("dout")
+                .to_bool()
+            {
                 Some(true) => v |= 1 << i,
                 Some(false) => {}
                 None => return None,

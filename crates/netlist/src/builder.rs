@@ -64,7 +64,9 @@ impl NetlistBuilder {
 
     /// Declares a bus of input ports `name[0..width]`, LSB first.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(&format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(&format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Declares an internal net without a driver yet (for feedback).

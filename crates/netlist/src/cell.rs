@@ -29,7 +29,12 @@ pub struct Cell {
 }
 
 impl Cell {
-    pub(crate) fn new(kind: GateKind, inputs: Vec<NetId>, output: NetId, name: Option<String>) -> Self {
+    pub(crate) fn new(
+        kind: GateKind,
+        inputs: Vec<NetId>,
+        output: NetId,
+        name: Option<String>,
+    ) -> Self {
         debug_assert_eq!(inputs.len(), kind.input_count());
         Cell {
             kind,

@@ -59,7 +59,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::DuplicatePort { name } => write!(f, "duplicate port name {name:?}"),
             NetlistError::UnknownPort { name } => write!(f, "unknown port {name:?}"),
-            NetlistError::Serialize { message } => write!(f, "netlist serialization failed: {message}"),
+            NetlistError::Serialize { message } => {
+                write!(f, "netlist serialization failed: {message}")
+            }
         }
     }
 }

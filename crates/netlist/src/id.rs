@@ -22,7 +22,9 @@ use std::fmt;
 /// let y = b.not(a);
 /// assert_ne!(a, y);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NetId(pub(crate) u32);
 
 /// Identifier of a cell (gate or register instance) within one
@@ -39,7 +41,9 @@ pub struct NetId(pub(crate) u32);
 /// let nl = b.finish().unwrap();
 /// assert_eq!(nl.cell(ff).output(), q);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct CellId(pub(crate) u32);
 
 impl NetId {

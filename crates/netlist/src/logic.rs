@@ -24,7 +24,9 @@ use std::ops::{BitAnd, BitOr, BitXor, Not};
 /// assert_eq!(Logic::One ^ Logic::X, Logic::X);
 /// assert_eq!(!Logic::X, Logic::X);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum Logic {
     /// Logic low.
     #[default]
@@ -171,7 +173,7 @@ mod tests {
 
     #[test]
     fn and_matches_kleene_tables() {
-        use Logic::{One, X, Zero};
+        use Logic::{One, Zero, X};
         assert_eq!(Zero & Zero, Zero);
         assert_eq!(Zero & One, Zero);
         assert_eq!(One & One, One);
@@ -182,7 +184,7 @@ mod tests {
 
     #[test]
     fn or_matches_kleene_tables() {
-        use Logic::{One, X, Zero};
+        use Logic::{One, Zero, X};
         assert_eq!(Zero | Zero, Zero);
         assert_eq!(Zero | One, One);
         assert_eq!(One | One, One);
@@ -193,7 +195,7 @@ mod tests {
 
     #[test]
     fn xor_is_strict_in_x() {
-        use Logic::{One, X, Zero};
+        use Logic::{One, Zero, X};
         assert_eq!(Zero ^ One, One);
         assert_eq!(One ^ One, Zero);
         assert_eq!(X ^ Zero, X);
@@ -219,7 +221,7 @@ mod tests {
 
     #[test]
     fn mux_selects_and_optimizes_agreeing_inputs() {
-        use Logic::{One, X, Zero};
+        use Logic::{One, Zero, X};
         assert_eq!(Logic::mux(Zero, One, Zero), One);
         assert_eq!(Logic::mux(One, One, Zero), Zero);
         assert_eq!(Logic::mux(X, One, One), One);

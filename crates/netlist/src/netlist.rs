@@ -85,7 +85,10 @@ impl Netlist {
     /// Number of sequential cells (all flip-flop flavours).
     #[must_use]
     pub fn ff_count(&self) -> usize {
-        self.cells.iter().filter(|c| c.kind().is_sequential()).count()
+        self.cells
+            .iter()
+            .filter(|c| c.kind().is_sequential())
+            .count()
     }
 
     /// Primary input ports as `(name, net)` pairs, in declaration order.
@@ -384,7 +387,9 @@ impl Netlist {
         }
         let mut order = Vec::with_capacity(self.cells.len());
         let mut queue: Vec<u32> = (0..self.cells.len() as u32)
-            .filter(|&i| !self.cells[i as usize].kind().is_sequential() && indegree[i as usize] == 0)
+            .filter(|&i| {
+                !self.cells[i as usize].kind().is_sequential() && indegree[i as usize] == 0
+            })
             .collect();
         while let Some(i) = queue.pop() {
             order.push(CellId::from_index(i as usize));
@@ -466,7 +471,10 @@ mod tests {
         b.connect(fb, y);
         b.output("y", y);
         let err = b.finish().unwrap_err();
-        assert!(matches!(err, NetlistError::CombinationalLoop { .. }), "{err}");
+        assert!(
+            matches!(err, NetlistError::CombinationalLoop { .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -48,10 +48,7 @@ impl AreaReport {
         let mut leak = 0.0;
         let mut sleep_leak = 0.0;
         for kind in GateKind::ALL {
-            let count = netlist
-                .cells()
-                .filter(|(_, c)| c.kind() == kind)
-                .count();
+            let count = netlist.cells().filter(|(_, c)| c.kind() == kind).count();
             if count == 0 {
                 continue;
             }
@@ -109,7 +106,13 @@ impl fmt::Display for AreaReport {
             self.leakage_nw, self.sleep_leakage_nw
         )?;
         for (kind, count, area) in &self.by_kind {
-            writeln!(f, "  {:>6} x {:<5} {:>10.1} um^2", kind.cell_name(), count, area)?;
+            writeln!(
+                f,
+                "  {:>6} x {:<5} {:>10.1} um^2",
+                kind.cell_name(),
+                count,
+                area
+            )?;
         }
         Ok(())
     }

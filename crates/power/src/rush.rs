@@ -138,7 +138,10 @@ impl PowerNetwork {
             let bounce_raw = (self.shared_resistance * i + self.shared_inductance * didt).abs();
             bounce_filt += alpha_f * (bounce_raw - bounce_filt);
             peak_bounce = peak_bounce.max(bounce_filt);
-            samples.push(Sample { t_s: t, current_a: i });
+            samples.push(Sample {
+                t_s: t,
+                current_a: i,
+            });
             prev_i = i;
         }
         // Settle: last time |i| exceeded 5% of peak.

@@ -103,7 +103,10 @@ impl UpsetModel {
         }
         let mut hits = 0u64;
         for t in 0..trials {
-            if !self.upsets(peak_bounce_v, latches, seed.wrapping_add(t)).is_empty() {
+            if !self
+                .upsets(peak_bounce_v, latches, seed.wrapping_add(t))
+                .is_empty()
+            {
                 hits += 1;
             }
         }
@@ -152,7 +155,10 @@ mod tests {
                 }
             }
         }
-        assert!(multi_events > 20, "0.8 V should often upset several latches");
+        assert!(
+            multi_events > 20,
+            "0.8 V should often upset several latches"
+        );
         assert!(
             clustered as f64 > 0.95 * multi_events as f64,
             "multi-upsets must be spatially clustered ({clustered}/{multi_events})"

@@ -10,7 +10,9 @@
 use std::fmt;
 
 /// Identifier of a power domain within one simulator instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct DomainId(pub(crate) u32);
 
 impl DomainId {

@@ -102,10 +102,7 @@ impl<'a> Simulator<'a> {
     }
 
     fn stuck_level(&self, net: NetId) -> Option<Logic> {
-        self.stuck
-            .iter()
-            .find(|&&(n, _)| n == net)
-            .map(|&(_, v)| v)
+        self.stuck.iter().find(|&&(n, _)| n == net).map(|&(_, v)| v)
     }
 
     /// The simulated netlist.
@@ -132,7 +129,11 @@ impl<'a> Simulator<'a> {
     }
 
     /// Assigns every cell in `cells` to `domain`.
-    pub fn assign_domain_all<I: IntoIterator<Item = CellId>>(&mut self, cells: I, domain: DomainId) {
+    pub fn assign_domain_all<I: IntoIterator<Item = CellId>>(
+        &mut self,
+        cells: I,
+        domain: DomainId,
+    ) {
         for c in cells {
             self.assign_domain(c, domain);
         }

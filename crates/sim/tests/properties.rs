@@ -29,9 +29,13 @@ const COMB_KINDS: [GateKind; 10] = [
 ];
 
 fn gate_strategy() -> impl Strategy<Value = GateRecipe> {
-    (0..COMB_KINDS.len(), any::<usize>(), any::<usize>(), any::<usize>()).prop_map(
-        |(kind, a, b, c)| GateRecipe { kind, a, b, c },
+    (
+        0..COMB_KINDS.len(),
+        any::<usize>(),
+        any::<usize>(),
+        any::<usize>(),
     )
+        .prop_map(|(kind, a, b, c)| GateRecipe { kind, a, b, c })
 }
 
 /// Builds a DAG: each gate may use primary inputs or earlier gate
@@ -39,10 +43,7 @@ fn gate_strategy() -> impl Strategy<Value = GateRecipe> {
 /// structure `(kind, input net indices)` per gate in creation order.
 type GateStructure = Vec<(GateKind, Vec<usize>)>;
 
-fn build_random(
-    n_inputs: usize,
-    recipes: &[GateRecipe],
-) -> (Netlist, Vec<NetId>, GateStructure) {
+fn build_random(n_inputs: usize, recipes: &[GateRecipe]) -> (Netlist, Vec<NetId>, GateStructure) {
     let mut b = NetlistBuilder::new("rand");
     let inputs = b.input_bus("i", n_inputs);
     let mut pool: Vec<NetId> = inputs.clone();

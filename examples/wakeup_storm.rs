@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, strategy) in [
         ("full bank", WakeStrategy::FullBank),
         ("staggered x8", WakeStrategy::Staggered { groups: 8 }),
-        ("slow ramp x20", WakeStrategy::SlowRamp { ramp_factor: 20.0 }),
+        (
+            "slow ramp x20",
+            WakeStrategy::SlowRamp { ramp_factor: 20.0 },
+        ),
     ] {
         let e = strategy.wake(&net);
         println!(

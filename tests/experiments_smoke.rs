@@ -35,7 +35,10 @@ fn table2_hamming_costs_more_than_crc_at_equal_w() {
         ham[0].enc_power_mw,
         crc[0].enc_power_mw
     );
-    assert_eq!(ham[0].latency_ns, crc[0].latency_ns, "latency is l x T for both");
+    assert_eq!(
+        ham[0].latency_ns, crc[0].latency_ns,
+        "latency is l x T for both"
+    );
 }
 
 #[test]

@@ -62,9 +62,15 @@ fn cost_measurement_matches_paper_w80_shape() {
     // ~8 mW, energy ~1 nJ. We require the reproduced shape: the same
     // latency, tens-of-percent overhead, single-digit mW, ~1 nJ.
     assert!((row.latency_ns - 130.0).abs() < 1e-9);
-    assert!(row.overhead_pct > 30.0 && row.overhead_pct < 150.0, "{row:?}");
+    assert!(
+        row.overhead_pct > 30.0 && row.overhead_pct < 150.0,
+        "{row:?}"
+    );
     assert!(row.enc_power_mw > 1.0 && row.enc_power_mw < 30.0, "{row:?}");
-    assert!(row.enc_energy_nj > 0.1 && row.enc_energy_nj < 5.0, "{row:?}");
+    assert!(
+        row.enc_energy_nj > 0.1 && row.enc_energy_nj < 5.0,
+        "{row:?}"
+    );
 }
 
 #[test]

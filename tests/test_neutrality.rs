@@ -88,8 +88,14 @@ fn fault_coverage_survives_monitor_insertion() {
         .flat_map(|i| {
             let cell = scanguard_netlist::CellId::from_index(i);
             [
-                Fault { cell, stuck: StuckAt::Zero },
-                Fault { cell, stuck: StuckAt::One },
+                Fault {
+                    cell,
+                    stuck: StuckAt::Zero,
+                },
+                Fault {
+                    cell,
+                    stuck: StuckAt::One,
+                },
             ]
         })
         .collect();
@@ -105,7 +111,13 @@ fn fault_coverage_survives_monitor_insertion() {
             "mon_sig_cap".into(),
         ],
     };
-    let before = fault_coverage(&plain, ScanAccess::Direct(&plain_chains), &lib, &faults, &cfg);
+    let before = fault_coverage(
+        &plain,
+        ScanAccess::Direct(&plain_chains),
+        &lib,
+        &faults,
+        &cfg,
+    );
     let after = fault_coverage(
         &protected.netlist,
         ScanAccess::TestMode(&protected.chains, tm),

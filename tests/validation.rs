@@ -17,7 +17,10 @@ fn experiment1_single_errors_all_corrected() {
     let stats = tb.run(12, InjectionMode::Single, 0xE1);
     assert_eq!(stats.sequences, 12);
     assert_eq!(stats.errors_reported, 12, "every single error reported");
-    assert_eq!(stats.sequences_recovered, 12, "every single error corrected");
+    assert_eq!(
+        stats.sequences_recovered, 12,
+        "every single error corrected"
+    );
     assert_eq!(
         stats.comparator_mismatches, 0,
         "FIFO_A output equals FIFO_B for all sequences"

@@ -1,0 +1,497 @@
+//! Offline subset of the `proptest` API.
+//!
+//! The build environment has no registry access, so the workspace ships
+//! this miniature property-testing harness: the [`Strategy`] trait with
+//! `prop_map`, range / tuple / [`Just`] / oneof / `collection::vec`
+//! strategies, the [`proptest!`] macro (deterministically seeded case
+//! loop), and the `prop_assert*` macros. There is **no shrinking** —
+//! a failing case panics with its inputs' debug representation instead.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Test-runner configuration (`cases` is the only supported knob).
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Chains a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (**self).gen_value(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// [`Strategy::prop_flat_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+/// A strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+impl<T> Union<T> {
+    /// A uniform union of the given strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].gen_value(rng)
+    }
+}
+
+// ------------------------------------------------------------- integers
+
+/// Integer types whose ranges are strategies.
+pub trait UniformValue: Copy + 'static {
+    /// Uniform draw from `[low, high)`.
+    fn draw(rng: &mut TestRng, low: Self, high: Self) -> Self;
+    /// Uniform draw over the full domain.
+    fn draw_any(rng: &mut TestRng) -> Self;
+    /// Greatest value of the domain.
+    fn max_value() -> Self;
+}
+
+macro_rules! impl_uniform_value {
+    ($($t:ty),*) => {$(
+        impl UniformValue for $t {
+            fn draw(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                rng.gen_range(low..high)
+            }
+            fn draw_any(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+        }
+    )*};
+}
+impl_uniform_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformValue> Strategy for Range<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::draw(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformValue + PartialOrd + std::ops::Add<Output = T> + From<u8>> Strategy
+    for RangeInclusive<T>
+{
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        if hi < T::max_value() {
+            T::draw(rng, lo, hi + T::from(1u8))
+        } else {
+            T::draw_any(rng)
+        }
+    }
+}
+
+impl<T: UniformValue> Strategy for RangeFrom<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::draw(rng, self.start, T::max_value())
+    }
+}
+
+// ---------------------------------------------------------------- any()
+
+/// Types with a full-domain default strategy.
+pub trait Arbitrary: Sized + 'static {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_gen!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// ------------------------------------------------------------ collection
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A size specification: an exact length or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test module imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, Strategy,
+    };
+}
+
+// Top-level re-exports mirroring proptest's layout (`proptest::prop_oneof`
+// etc. via `use proptest::prelude::*`).
+pub use test_runner::ProptestConfig;
+
+/// Builds the seed for a named property's case loop: deterministic, but
+/// distinct per property name.
+#[must_use]
+pub fn case_seed(name: &str) -> u64 {
+    // FNV-1a over the name, offset so seed 0 never occurs.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h | 1
+}
+
+/// Runs `cases` iterations of a property, feeding each a fresh
+/// deterministic RNG. The property receives the RNG and draws its own
+/// inputs (the [`proptest!`] macro wires this up).
+pub fn run_property<F: FnMut(&mut TestRng)>(name: &str, cases: u32, mut body: F) {
+    let base = case_seed(name);
+    for case in 0..u64::from(cases) {
+        let mut rng = TestRng::seed_from_u64(base ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        body(&mut rng);
+    }
+}
+
+/// Declares deterministic property tests.
+///
+/// Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn prop(x in 0usize..8, y in any::<u64>()) { prop_assert!(x < 8); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::run_property(stringify!($name), config.cases, |__rng| {
+                    $(let $arg = $crate::Strategy::gen_value(&($strategy), __rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+    ($($tt:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($tt)*
+        }
+    };
+}
+
+/// Asserts inside a property (panics with the failing expression; no
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, y in 1u32..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths(v in collection::vec(any::<bool>(), 2..5), w in collection::vec(0u8..4, 3)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert_eq!(w.len(), 3);
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![Just(1u8), Just(2u8)], y in (0u16..4).prop_map(|v| v * 2)) {
+            prop_assert!(x == 1 || x == 2);
+            prop_assert!(y % 2 == 0 && y < 8);
+            prop_assume!(x == 1);
+            prop_assert_ne!(x, 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        crate::run_property("p", 5, |rng| {
+            first.push(crate::Strategy::gen_value(&(0u64..100), rng))
+        });
+        let mut second = Vec::new();
+        crate::run_property("p", 5, |rng| {
+            second.push(crate::Strategy::gen_value(&(0u64..100), rng))
+        });
+        assert_eq!(first, second);
+    }
+}
