@@ -1,0 +1,45 @@
+//! Thread-scaling of the fault-dropping stuck-at fault simulator: the
+//! same fault sample at 1, 2, 4 and 8 workers. Each fault is an
+//! independent simulation against the shared golden responses, and
+//! fault dropping makes the per-fault cost wildly unequal (a blatant
+//! fault stops after one pattern; an undetected one runs the full set),
+//! so the curve shows how well the work-stealing pool packs the skewed
+//! queue. (On a single-core host the curve is flat.)
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scanguard_designs::Fifo;
+use scanguard_dft::{
+    enumerate_faults, fault_coverage, insert_scan, FaultSimConfig, ScanAccess, ScanConfig,
+};
+use scanguard_netlist::CellLibrary;
+
+fn bench_faultsim_scaling(c: &mut Criterion) {
+    let fifo = Fifo::generate(16, 16);
+    let mut nl = fifo.netlist;
+    let chains = insert_scan(&mut nl, &ScanConfig::with_chains(16)).expect("scan insertion");
+    let lib = CellLibrary::st120nm();
+    let faults = enumerate_faults(&nl);
+    let sample = 64usize.min(faults.len());
+
+    let mut group = c.benchmark_group("faultsim_scaling");
+    group.throughput(Throughput::Elements(sample as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = FaultSimConfig {
+            patterns: 8,
+            max_faults: Some(sample),
+            threads,
+            ..FaultSimConfig::default()
+        };
+        group.bench_function(&format!("threads/{threads}"), |b| {
+            b.iter(|| {
+                fault_coverage(&nl, ScanAccess::Direct(&chains), &lib, &faults, &cfg)
+                    .expect("fault simulation")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_faultsim_scaling);
+criterion_main!(benches);

@@ -63,6 +63,21 @@ pub struct MonitorHardware {
     pub chain_len: usize,
 }
 
+impl MonitorHardware {
+    /// The monitor's control input port names, as the `hold_low` list a
+    /// manufacturing-test run should pin to 0. Only ports this monitor
+    /// actually has are named (`mon_sig_cap` exists on CRC monitors
+    /// only) — the fault simulator rejects unknown names loudly.
+    #[must_use]
+    pub fn hold_low_ports(&self) -> Vec<String> {
+        let mut ports = vec!["mon_en".into(), "mon_decode".into(), "mon_clear".into()];
+        if self.sig_cap.is_some() {
+            ports.push("mon_sig_cap".into());
+        }
+        ports
+    }
+}
+
 /// Gate-construction helper: tracks the cells it creates.
 struct Gen<'a> {
     nl: &'a mut Netlist,

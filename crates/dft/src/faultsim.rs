@@ -9,13 +9,22 @@
 //! `test_neutrality` integration tests compare PGC fault coverage before
 //! and after monitor insertion.
 //!
-//! Serial fault simulation: the golden responses are computed once, then
-//! each fault is simulated until its first detection (or the pattern set
-//! is exhausted).
+//! Fault-dropping, parallel fault simulation: the golden responses are
+//! computed once and shared read-only across workers; each fault is then
+//! simulated cycle by cycle and *dropped* at the first observed bit that
+//! differs from golden — the rest of the failing pattern, the remaining
+//! patterns and the final flush are never simulated.
+//! Faults are fanned out over a [`scanguard_par::run_pool`] and the
+//! per-fault outcomes are merged in index order, so the
+//! [`CoverageReport`] is byte-identical at any
+//! [`thread count`](FaultSimConfig::threads).
 
-use crate::{Lfsr, ScanChains, TestModeConfig};
+use crate::{DftError, Lfsr, ScanChains, TestModeConfig};
 use scanguard_netlist::{CellId, CellLibrary, GateKind, Logic, NetId, Netlist};
+use scanguard_par::run_pool;
 use scanguard_sim::Simulator;
+use std::collections::HashSet;
+use std::time::Instant;
 
 /// Stuck-at polarity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -57,6 +66,9 @@ pub struct FaultSimConfig {
     /// Input ports held at 0 instead of receiving random stimulus
     /// (monitor/injector controls of a protected design).
     pub hold_low: Vec<String>,
+    /// Worker threads to fan the fault list over (clamped to at least
+    /// 1). The report is identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for FaultSimConfig {
@@ -66,12 +78,18 @@ impl Default for FaultSimConfig {
             seed: 0xFA_17,
             max_faults: None,
             hold_low: Vec::new(),
+            threads: 1,
         }
     }
 }
 
 /// Result of a fault-simulation run.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+///
+/// Everything except [`wall_ms`](Self::wall_ms) is a pure function of
+/// the netlist, access structure and config — thread count changes
+/// wall-clock time, nothing else (and `wall_ms` is excluded from
+/// equality for exactly that reason).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct CoverageReport {
     /// Faults simulated.
     pub faults: usize,
@@ -79,16 +97,39 @@ pub struct CoverageReport {
     pub detected: usize,
     /// A sample of undetected faults (at most 16), for diagnosis.
     pub undetected_sample: Vec<Fault>,
+    /// Histogram of first detections: `detected_at_pattern[p]` counts
+    /// the faults first detected while comparing pattern `p`'s response;
+    /// the final bucket (`[patterns]`) is the post-test flush.
+    pub detected_at_pattern: Vec<usize>,
+    /// Total clock cycles spent simulating faulty machines (the golden
+    /// run is excluded).
+    pub simulated_cycles: u64,
+    /// Cycles fault dropping avoided, relative to running every fault
+    /// against the full pattern set plus flush.
+    pub dropped_cycles: u64,
+    /// Wall-clock time of the whole run, milliseconds. Measurement
+    /// noise: ignored by `==`.
+    pub wall_ms: f64,
+}
+
+impl PartialEq for CoverageReport {
+    fn eq(&self, other: &Self) -> bool {
+        // wall_ms is timing noise, not part of the result's identity.
+        self.faults == other.faults
+            && self.detected == other.detected
+            && self.undetected_sample == other.undetected_sample
+            && self.detected_at_pattern == other.detected_at_pattern
+            && self.simulated_cycles == other.simulated_cycles
+            && self.dropped_cycles == other.dropped_cycles
+    }
 }
 
 impl CoverageReport {
-    /// Coverage percentage.
+    /// Coverage percentage, or `None` when no faults were simulated —
+    /// an empty fault list is "nothing measured", not 100% coverage.
     #[must_use]
-    pub fn coverage_pct(&self) -> f64 {
-        if self.faults == 0 {
-            return 100.0;
-        }
-        self.detected as f64 / self.faults as f64 * 100.0
+    pub fn coverage_pct(&self) -> Option<f64> {
+        (self.faults > 0).then(|| self.detected as f64 / self.faults as f64 * 100.0)
     }
 }
 
@@ -181,27 +222,191 @@ struct Pattern {
 /// The response signature of one pattern: everything a tester observes.
 type Response = Vec<Logic>;
 
+/// A mismatch a tester would log: both values known and different.
+fn differs(golden: &[Logic], observed: &[Logic]) -> bool {
+    golden
+        .iter()
+        .zip(observed)
+        .any(|(&g, &f)| g.is_known() && f.is_known() && g != f)
+}
+
+/// What one fault's (possibly dropped) simulation produced.
+struct FaultOutcome {
+    /// Index of the pattern whose response first exposed the fault
+    /// (`patterns.len()` = the final flush); `None` = undetected.
+    detected_at: Option<usize>,
+    /// Clock cycles this fault's simulation ran before dropping.
+    cycles: u64,
+}
+
+/// The shared, read-only context every worker simulates against.
+struct Tester<'a> {
+    netlist: &'a Netlist,
+    lib: &'a CellLibrary,
+    access: ScanAccess<'a>,
+    free_pi: Vec<NetId>,
+    patterns: Vec<Pattern>,
+    width: usize,
+    length: usize,
+}
+
+impl Tester<'_> {
+    /// A zero-driven simulator, optionally with one stuck-at injected.
+    fn fresh_sim(&self, fault: Option<Fault>) -> Simulator<'_> {
+        let mut sim = Simulator::new(self.netlist, self.lib);
+        for (_, net) in self.netlist.input_ports() {
+            sim.set_net(*net, Logic::Zero);
+        }
+        if let Some(f) = fault {
+            sim.set_stuck(self.netlist.cell(f.cell).output(), f.stuck.level());
+        }
+        self.access.enter(&mut sim);
+        sim
+    }
+
+    /// Applies one pattern: shift in over the full chain length
+    /// (observing the previous contents as they emerge), drive random
+    /// primary inputs, capture one functional cycle, observe POs.
+    fn apply_pattern(&self, sim: &mut Simulator<'_>, p: &Pattern) -> Response {
+        let mut observed = Vec::new();
+        sim.set_net(self.access.se(), Logic::One);
+        for ins in &p.scan_in {
+            observed.extend(self.access.shift(sim, ins));
+        }
+        sim.set_net(self.access.se(), Logic::Zero);
+        for (&net, &v) in self.free_pi.iter().zip(&p.pi) {
+            sim.set_net(net, v);
+        }
+        sim.settle();
+        for (_, net) in self.netlist.output_ports() {
+            observed.push(sim.value(*net));
+        }
+        sim.step();
+        observed
+    }
+
+    /// [`apply_pattern`](Self::apply_pattern) against a golden response:
+    /// every observed bit is compared the cycle it emerges, and the rest
+    /// of the pattern is abandoned at the first mismatch — a tester
+    /// would log the failing cycle, and a dropped fault needs nothing
+    /// more. Returns `true` on a mismatch.
+    fn apply_pattern_vs(&self, sim: &mut Simulator<'_>, p: &Pattern, golden: &[Logic]) -> bool {
+        let mut at = 0usize;
+        sim.set_net(self.access.se(), Logic::One);
+        for ins in &p.scan_in {
+            let outs = self.access.shift(sim, ins);
+            if differs(&golden[at..at + outs.len()], &outs) {
+                return true;
+            }
+            at += outs.len();
+        }
+        sim.set_net(self.access.se(), Logic::Zero);
+        for (&net, &v) in self.free_pi.iter().zip(&p.pi) {
+            sim.set_net(net, v);
+        }
+        sim.settle();
+        for (_, net) in self.netlist.output_ports() {
+            let g = golden[at];
+            let f = sim.value(*net);
+            if g.is_known() && f.is_known() && g != f {
+                return true;
+            }
+            at += 1;
+        }
+        sim.step();
+        false
+    }
+
+    /// The final flush, so the last capture is observed too.
+    fn flush(&self, sim: &mut Simulator<'_>) -> Response {
+        sim.set_net(self.access.se(), Logic::One);
+        let zeros = vec![Logic::Zero; self.width];
+        let mut flushed = Vec::new();
+        for _ in 0..self.length {
+            flushed.extend(self.access.shift(sim, &zeros));
+        }
+        flushed
+    }
+
+    /// [`flush`](Self::flush) against the golden flush, stopping at the
+    /// first mismatching bit. Returns `true` on a mismatch.
+    fn flush_vs(&self, sim: &mut Simulator<'_>, golden: &[Logic]) -> bool {
+        sim.set_net(self.access.se(), Logic::One);
+        let zeros = vec![Logic::Zero; self.width];
+        let mut at = 0usize;
+        for _ in 0..self.length {
+            let outs = self.access.shift(sim, &zeros);
+            if differs(&golden[at..at + outs.len()], &outs) {
+                return true;
+            }
+            at += outs.len();
+        }
+        false
+    }
+
+    /// The fault-free run: one response per pattern plus the flush, and
+    /// the cycle count of the full (never-dropped) test.
+    fn golden(&self) -> (Vec<Response>, u64) {
+        let mut sim = self.fresh_sim(None);
+        let mut responses: Vec<Response> = self
+            .patterns
+            .iter()
+            .map(|p| self.apply_pattern(&mut sim, p))
+            .collect();
+        responses.push(self.flush(&mut sim));
+        (responses, sim.cycles())
+    }
+
+    /// Simulates one fault with dropping: every observed bit is checked
+    /// against the golden response the cycle it emerges, and the run
+    /// stops — mid-pattern — at the first mismatch.
+    fn simulate_fault(&self, fault: Fault, golden: &[Response]) -> FaultOutcome {
+        let mut sim = self.fresh_sim(Some(fault));
+        for (p, pattern) in self.patterns.iter().enumerate() {
+            if self.apply_pattern_vs(&mut sim, pattern, &golden[p]) {
+                return FaultOutcome {
+                    detected_at: Some(p),
+                    cycles: sim.cycles(),
+                };
+            }
+        }
+        let detected_at = self
+            .flush_vs(&mut sim, &golden[self.patterns.len()])
+            .then_some(self.patterns.len());
+        FaultOutcome {
+            detected_at,
+            cycles: sim.cycles(),
+        }
+    }
+}
+
 /// Runs stuck-at fault simulation and reports coverage.
 ///
-/// For each pattern: shift in over the full chain length (observing the
-/// previous contents as they emerge), drive random primary inputs,
-/// capture one functional cycle, and finally flush out (observing the
-/// captured state). A fault is detected when any observed bit (scan-out
-/// streams or primary outputs at capture) differs from the golden run
-/// with both values known.
+/// The golden responses are computed once; each fault is then simulated
+/// until its first detection (fault dropping) on
+/// [`threads`](FaultSimConfig::threads) workers. A fault is detected
+/// when any observed bit (scan-out streams or primary outputs at
+/// capture) differs from the golden run with both values known.
+///
+/// # Errors
+///
+/// Returns [`DftError::Netlist`] naming the port when a
+/// [`hold_low`](FaultSimConfig::hold_low) entry is not a port of the
+/// netlist — a misspelled monitor control would otherwise silently
+/// receive random stimulus and corrupt the coverage number.
 ///
 /// # Panics
 ///
 /// Panics if the netlist's ports disagree with the access structure
 /// (internal wiring bug).
-#[must_use]
 pub fn fault_coverage(
     netlist: &Netlist,
     access: ScanAccess<'_>,
     lib: &CellLibrary,
     faults: &[Fault],
     cfg: &FaultSimConfig,
-) -> CoverageReport {
+) -> Result<CoverageReport, DftError> {
+    let start = Instant::now();
     // Sample the fault list if requested.
     let mut lfsr = Lfsr::maximal(32, cfg.seed | 1);
     let sampled: Vec<Fault> = match cfg.max_faults {
@@ -222,7 +427,7 @@ pub fn fault_coverage(
 
     // Free primary inputs = ports that are not scan pins, not scan
     // enable, not explicitly held low.
-    let scan_pins: Vec<NetId> = {
+    let scan_pins: HashSet<NetId> = {
         let mut v = Vec::new();
         match access {
             ScanAccess::Direct(c) => v.extend(c.chains.iter().map(|ch| ch.si)),
@@ -233,13 +438,13 @@ pub fn fault_coverage(
             }
         }
         v.push(access.se());
-        v
+        v.into_iter().collect()
     };
-    let held: Vec<NetId> = cfg
+    let held: HashSet<NetId> = cfg
         .hold_low
         .iter()
-        .filter_map(|name| netlist.port(name).ok())
-        .collect();
+        .map(|name| netlist.port(name).map_err(DftError::from))
+        .collect::<Result<_, _>>()?;
     let free_pi: Vec<NetId> = netlist
         .input_ports()
         .iter()
@@ -261,66 +466,51 @@ pub fn fault_coverage(
         })
         .collect();
 
-    let run = |fault: Option<Fault>| -> Vec<Response> {
-        let mut sim = Simulator::new(netlist, lib);
-        for (_, net) in netlist.input_ports() {
-            sim.set_net(*net, Logic::Zero);
-        }
-        if let Some(f) = fault {
-            sim.set_stuck(netlist.cell(f.cell).output(), f.stuck.level());
-        }
-        access.enter(&mut sim);
-        let mut responses = Vec::with_capacity(patterns.len());
-        for p in &patterns {
-            let mut observed = Vec::new();
-            // Shift in (previous contents emerge — observed).
-            sim.set_net(access.se(), Logic::One);
-            for ins in &p.scan_in {
-                observed.extend(access.shift(&mut sim, ins));
-            }
-            // Capture: drive PIs, one functional cycle, observe POs.
-            sim.set_net(access.se(), Logic::Zero);
-            for (&net, &v) in free_pi.iter().zip(&p.pi) {
-                sim.set_net(net, v);
-            }
-            sim.settle();
-            for (_, net) in netlist.output_ports() {
-                observed.push(sim.value(*net));
-            }
-            sim.step();
-            responses.push(observed);
-        }
-        // Final flush so the last capture is observed too.
-        sim.set_net(access.se(), Logic::One);
-        let mut flush = Vec::new();
-        for _ in 0..l {
-            flush.extend(access.shift(&mut sim, &vec![Logic::Zero; w]));
-        }
-        responses.push(flush);
-        responses
+    let tester = Tester {
+        netlist,
+        lib,
+        access,
+        free_pi,
+        patterns,
+        width: w,
+        length: l,
     };
+    let (golden, full_cycles) = tester.golden();
 
-    let golden = run(None);
+    // Fan the faults out; outcomes come back in index order, so the
+    // merge below (and thus the whole report) is thread-count-blind.
+    let outcomes = run_pool(sampled.len(), cfg.threads, |i| {
+        tester.simulate_fault(sampled[i], &golden)
+    });
+
     let mut detected = 0usize;
     let mut undetected_sample = Vec::new();
-    for &fault in &sampled {
-        let faulty = run(Some(fault));
-        let miss = golden
-            .iter()
-            .flatten()
-            .zip(faulty.iter().flatten())
-            .any(|(&g, &f)| g.is_known() && f.is_known() && g != f);
-        if miss {
-            detected += 1;
-        } else if undetected_sample.len() < 16 {
-            undetected_sample.push(fault);
+    let mut detected_at_pattern = vec![0usize; cfg.patterns + 1];
+    let mut simulated_cycles = 0u64;
+    for (fault, outcome) in sampled.iter().zip(&outcomes) {
+        simulated_cycles += outcome.cycles;
+        match outcome.detected_at {
+            Some(p) => {
+                detected += 1;
+                detected_at_pattern[p] += 1;
+            }
+            None => {
+                if undetected_sample.len() < 16 {
+                    undetected_sample.push(*fault);
+                }
+            }
         }
     }
-    CoverageReport {
+    let dropped_cycles = (full_cycles * sampled.len() as u64).saturating_sub(simulated_cycles);
+    Ok(CoverageReport {
         faults: sampled.len(),
         detected,
         undetected_sample,
-    }
+        detected_at_pattern,
+        simulated_cycles,
+        dropped_cycles,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    })
 }
 
 #[cfg(test)]
@@ -374,11 +564,13 @@ mod tests {
                 patterns: 12,
                 ..FaultSimConfig::default()
             },
-        );
+        )
+        .unwrap();
+        let pct = report.coverage_pct().expect("faults were simulated");
         assert!(
-            report.coverage_pct() > 90.0,
+            pct > 90.0,
             "scan test should catch most stuck-ats: {:.1}% ({:?})",
-            report.coverage_pct(),
+            pct,
             report.undetected_sample
         );
     }
@@ -408,9 +600,10 @@ mod tests {
                 patterns: 4,
                 ..FaultSimConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(report.detected, 2);
-        assert_eq!(report.coverage_pct(), 100.0);
+        assert_eq!(report.coverage_pct(), Some(100.0));
     }
 
     #[test]
@@ -435,7 +628,8 @@ mod tests {
                 hold_low: vec![],
                 ..FaultSimConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(
             report.detected, report.faults,
             "every flop fault visible through the concatenated chain: {report:?}"
@@ -457,7 +651,119 @@ mod tests {
                 max_faults: Some(10),
                 ..FaultSimConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(report.faults, 10);
+    }
+
+    #[test]
+    fn empty_fault_list_is_not_perfect_coverage() {
+        let (nl, sc) = scanned();
+        let lib = CellLibrary::st120nm();
+        let report = fault_coverage(
+            &nl,
+            ScanAccess::Direct(&sc),
+            &lib,
+            &[],
+            &FaultSimConfig {
+                patterns: 2,
+                ..FaultSimConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.faults, 0);
+        assert_eq!(report.coverage_pct(), None);
+    }
+
+    #[test]
+    fn unknown_hold_low_port_is_an_error() {
+        let (nl, sc) = scanned();
+        let lib = CellLibrary::st120nm();
+        let faults = enumerate_faults(&nl);
+        let err = fault_coverage(
+            &nl,
+            ScanAccess::Direct(&sc),
+            &lib,
+            &faults,
+            &FaultSimConfig {
+                patterns: 2,
+                hold_low: vec!["mon_enn".into()],
+                ..FaultSimConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("mon_enn"),
+            "the error must name the bad port: {err}"
+        );
+    }
+
+    #[test]
+    fn fault_dropping_stops_at_first_detection() {
+        let (nl, sc) = scanned();
+        let lib = CellLibrary::st120nm();
+        let victim = sc.chains[0].cells[1];
+        let faults = vec![Fault {
+            cell: victim,
+            stuck: StuckAt::One,
+        }];
+        let patterns = 8;
+        let report = fault_coverage(
+            &nl,
+            ScanAccess::Direct(&sc),
+            &lib,
+            &faults,
+            &FaultSimConfig {
+                patterns,
+                ..FaultSimConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.detected, 1);
+        let p = report
+            .detected_at_pattern
+            .iter()
+            .position(|&n| n == 1)
+            .expect("one detection in the histogram");
+        assert!(p < patterns, "a broken shift path is caught before flush");
+        // One pattern costs chain-length shift cycles plus the capture
+        // cycle; the run must stop within the detecting pattern — at
+        // most `p+1` full patterns are simulated and pattern `p+1` is
+        // never entered (and since detection is mid-shift here, not
+        // even pattern `p` completes).
+        let per_pattern = (sc.max_len() + 1) as u64;
+        assert!(report.simulated_cycles > p as u64 * per_pattern);
+        assert!(report.simulated_cycles < (p as u64 + 1) * per_pattern);
+        assert!(report.dropped_cycles > 0, "dropping must save cycles");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let (nl, sc) = scanned();
+        let lib = CellLibrary::st120nm();
+        let faults = enumerate_faults(&nl);
+        let run = |threads: usize| {
+            fault_coverage(
+                &nl,
+                ScanAccess::Direct(&sc),
+                &lib,
+                &faults,
+                &FaultSimConfig {
+                    patterns: 8,
+                    threads,
+                    ..FaultSimConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        assert_eq!(serial, parallel, "structural mismatch across thread counts");
+        // Byte-identical once the wall-clock noise field is normalized.
+        let normalize = |mut r: CoverageReport| {
+            r.wall_ms = 0.0;
+            serde_json::to_string(&r).unwrap()
+        };
+        assert_eq!(normalize(serial), normalize(parallel));
     }
 }

@@ -124,15 +124,32 @@ impl Lfsr {
         self.state
     }
 
-    /// Returns a pseudo-random value in `0..bound` by rejection-free
-    /// modulo (adequate for test-pattern generation).
+    /// Returns an unbiased pseudo-random value in `0..bound` by
+    /// rejection sampling (a plain `next_word() % bound` over-weights
+    /// the low residues whenever `bound` does not divide the register's
+    /// value range).
     ///
     /// # Panics
     ///
-    /// Panics if `bound` is zero.
+    /// Panics if `bound` is zero or exceeds the register's nonzero
+    /// value count (`2^width - 1`).
     pub fn next_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.next_word() % bound
+        let range = Self::mask_for(self.width);
+        assert!(
+            bound <= range,
+            "bound {bound} exceeds the width-{} LFSR's value range {range}",
+            self.width
+        );
+        // next_word() is uniform over 1..=range (the all-zero state is
+        // unreachable); shift to 0..range and reject the uneven tail.
+        let zone = range - range % bound;
+        loop {
+            let w = self.next_word() - 1;
+            if w < zone {
+                return w % bound;
+            }
+        }
     }
 }
 
@@ -178,6 +195,28 @@ mod tests {
         for _ in 0..200 {
             assert!(l.next_below(13) < 13);
         }
+    }
+
+    #[test]
+    fn next_below_is_exactly_uniform_over_one_period() {
+        // Width 8: next_word cycles through all 255 nonzero values
+        // before repeating (gcd(8, 255) = 1). With bound 10, the
+        // rejection zone accepts 250 of them — 250 calls consume exactly
+        // one period and every residue lands exactly 25 times. The old
+        // modulo fold gave residues 1..=5 an extra hit each.
+        let mut l = Lfsr::maximal(8, 0x5A);
+        let mut counts = [0u32; 10];
+        for _ in 0..250 {
+            counts[l.next_below(10) as usize] += 1;
+        }
+        assert_eq!(counts, [25; 10], "rejection sampling must be unbiased");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn next_below_rejects_oversized_bound() {
+        let mut l = Lfsr::maximal(4, 1);
+        let _ = l.next_below(16);
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! The fault-dropping parallel fault-simulation engine against a real
+//! design: the `CoverageReport` is a pure function of the configuration
+//! — the thread count changes wall-clock time and nothing else.
+
+use scanguard_designs::Fifo;
+use scanguard_dft::{enumerate_faults, fault_coverage, CoverageReport, FaultSimConfig, ScanAccess};
+use scanguard_dft::{insert_scan, ScanConfig};
+use scanguard_netlist::CellLibrary;
+
+fn fifo_coverage(threads: usize) -> CoverageReport {
+    let fifo = Fifo::generate(8, 8);
+    let mut nl = fifo.netlist;
+    let chains = insert_scan(&mut nl, &ScanConfig::with_chains(8)).unwrap();
+    let lib = CellLibrary::st120nm();
+    let faults = enumerate_faults(&nl);
+    fault_coverage(
+        &nl,
+        ScanAccess::Direct(&chains),
+        &lib,
+        &faults,
+        &FaultSimConfig {
+            patterns: 6,
+            max_faults: Some(80),
+            threads,
+            ..FaultSimConfig::default()
+        },
+    )
+    .expect("fault simulation")
+}
+
+#[test]
+fn parallel_report_matches_serial_byte_for_byte() {
+    let serial = fifo_coverage(1);
+    let parallel = fifo_coverage(8);
+    assert_eq!(serial, parallel, "thread count leaked into the report");
+    let normalize = |mut r: CoverageReport| {
+        r.wall_ms = 0.0; // the only timing-dependent field
+        serde_json::to_string(&r).unwrap()
+    };
+    assert_eq!(
+        normalize(serial).into_bytes(),
+        normalize(parallel).into_bytes()
+    );
+}
+
+#[test]
+fn dropping_accounts_for_every_fault() {
+    let report = fifo_coverage(4);
+    assert!(report.faults > 0);
+    let histogram_total: usize = report.detected_at_pattern.iter().sum();
+    assert_eq!(
+        histogram_total, report.detected,
+        "each detected fault lands in exactly one histogram bucket"
+    );
+    assert!(
+        report.dropped_cycles > 0,
+        "a detectable design must let the simulator drop work: {report:?}"
+    );
+    assert!(report.coverage_pct().expect("faults simulated") > 50.0);
+}

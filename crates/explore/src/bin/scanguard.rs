@@ -84,7 +84,7 @@ COMMANDS:
               [--trials N]
   coverage  stuck-at fault coverage of the protected design's scan test
               --depth N --width N --chains N --code CODE --test-width N
-              [--patterns N] [--max-faults N]
+              [--patterns N] [--max-faults N] [--threads N] [--json FILE]
   verilog   export a protected FIFO as structural Verilog
               --depth N --width N --chains N --code CODE [--out FILE]
   json      export a protected FIFO netlist as JSON
@@ -119,6 +119,8 @@ const COMMAND_KEYS: &[(&str, &[&str])] = &[
             "patterns",
             "max-faults",
             "scope",
+            "threads",
+            "json",
         ],
     ),
     (
@@ -460,6 +462,7 @@ fn cmd_coverage(opts: &HashMap<String, String>) -> Result<(), String> {
         .as_ref()
         .ok_or("coverage needs --test-width")?;
     let patterns = get(&opts, "patterns", 16usize)?;
+    let threads = get(&opts, "threads", num_threads_default())?;
     let max_faults = match opts.get("max-faults") {
         Some(v) => Some(v.parse().map_err(|_| format!("bad --max-faults {v:?}"))?),
         None => Some(200),
@@ -475,10 +478,11 @@ fn cmd_coverage(opts: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!("unknown --scope {scope:?} (pgc | all)"));
     }
     println!(
-        "{} {scope} faults; simulating {} with {} patterns...",
+        "{} {scope} faults; simulating {} with {} patterns on {} threads...",
         faults.len(),
         max_faults.unwrap_or(faults.len()).min(faults.len()),
-        patterns
+        patterns,
+        threads
     );
     let report = fault_coverage(
         &design.netlist,
@@ -489,25 +493,49 @@ fn cmd_coverage(opts: &HashMap<String, String>) -> Result<(), String> {
             patterns,
             seed: 0xC0 | 1,
             max_faults,
-            hold_low: vec![
-                "mon_en".into(),
-                "mon_decode".into(),
-                "mon_clear".into(),
-                "mon_sig_cap".into(),
-            ],
+            hold_low: design.monitor.hold_low_ports(),
+            threads,
         },
-    );
+    )
+    .map_err(|e| e.to_string())?;
+    match report.coverage_pct() {
+        Some(pct) => println!(
+            "detected {}/{} = {pct:.1}% stuck-at coverage through the test interface",
+            report.detected, report.faults,
+        ),
+        None => println!("no faults to simulate"),
+    }
+    let full = report.simulated_cycles + report.dropped_cycles;
     println!(
-        "detected {}/{} = {:.1}% stuck-at coverage through the test interface",
-        report.detected,
-        report.faults,
-        report.coverage_pct()
+        "simulated {} cycles in {:.0} ms ({} dropped — {:.1}% of a full serial run)",
+        report.simulated_cycles,
+        report.wall_ms,
+        report.dropped_cycles,
+        if full > 0 {
+            report.dropped_cycles as f64 / full as f64 * 100.0
+        } else {
+            0.0
+        }
+    );
+    let histogram: Vec<String> = report
+        .detected_at_pattern
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    println!(
+        "first detections per pattern (last = flush): [{}]",
+        histogram.join(", ")
     );
     if !report.undetected_sample.is_empty() {
         println!(
             "sample undetected: {:?}",
             &report.undetected_sample[..report.undetected_sample.len().min(5)]
         );
+    }
+    if let Some(path) = opts.get("json") {
+        let doc = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        report::write_file(path, &doc)?;
+        println!("wrote {path}");
     }
     Ok(())
 }

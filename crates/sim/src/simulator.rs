@@ -45,6 +45,36 @@ pub struct Simulator<'a> {
     retention: Vec<Logic>,
     /// Staging buffer for flip-flop capture.
     next_ff: Vec<Logic>,
+    /// Scratch buffer for gathering cell inputs, sized to the netlist's
+    /// widest fan-in so no gate can silently lose inputs (or panic with
+    /// an opaque slice error) during evaluation.
+    ibuf: Vec<Logic>,
+    /// Per-net change flags driving the incremental settle: a
+    /// combinational cell is only re-evaluated when one of its input
+    /// nets changed since the last settle. Cleared wholesale at the end
+    /// of each pass (every flag set before or during a pass has been
+    /// consumed by then — loads sit later in topological order than
+    /// their drivers).
+    dirty: Vec<bool>,
+    /// The nets currently flagged in `dirty`, as a compact list: lets a
+    /// settle with a tiny change frontier run event-driven instead of
+    /// scanning every cell's flags.
+    dirty_list: Vec<u32>,
+    /// Escape hatch for events that change cell outputs without touching
+    /// any input net (domain power flips, clearing stuck-at forces):
+    /// forces the next settle to evaluate everything.
+    all_dirty: bool,
+    /// Combinational loads of each net, as positions into `topo_order`
+    /// (the sparse settle's fan-out lists).
+    fanout: Vec<Vec<u32>>,
+    /// Per-topo-position "already queued" flags for the sparse settle.
+    queued: Vec<bool>,
+    /// Work queue of the sparse settle (kept across calls to reuse its
+    /// allocation).
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>>,
+    /// Sequential cells, precomputed so the capture/commit loops don't
+    /// rescan the whole netlist every cycle.
+    seq: Vec<CellId>,
     domain_of: Vec<DomainId>,
     domains: Vec<Domain>,
     /// Nets forced to a constant (stuck-at fault injection). Kept as a
@@ -67,12 +97,37 @@ impl<'a> Simulator<'a> {
     #[must_use]
     pub fn new(netlist: &'a Netlist, lib: &'a CellLibrary) -> Self {
         let _ = netlist.topo_order(); // assert validated
+        let max_fanin = netlist
+            .cells()
+            .map(|(_, c)| c.inputs().len())
+            .max()
+            .unwrap_or(0);
+        let seq: Vec<CellId> = netlist
+            .cells()
+            .filter(|(_, c)| c.kind().is_sequential())
+            .map(|(id, _)| id)
+            .collect();
+        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); netlist.net_count()];
+        for (pos, &cell_id) in netlist.topo_order().iter().enumerate() {
+            let pos = u32::try_from(pos).expect("combinational cell count fits u32");
+            for &inp in netlist.cell(cell_id).inputs() {
+                fanout[inp.index()].push(pos);
+            }
+        }
         Simulator {
             netlist,
             lib,
             values: vec![Logic::X; netlist.net_count()],
             retention: vec![Logic::X; netlist.cell_count()],
             next_ff: vec![Logic::X; netlist.cell_count()],
+            ibuf: vec![Logic::X; max_fanin],
+            dirty: vec![false; netlist.net_count()],
+            dirty_list: Vec::new(),
+            all_dirty: true,
+            queued: vec![false; netlist.topo_order().len()],
+            heap: std::collections::BinaryHeap::new(),
+            fanout,
+            seq,
             domain_of: vec![DomainId::ALWAYS_ON; netlist.cell_count()],
             domains: vec![Domain::new("always_on", true)],
             stuck: Vec::new(),
@@ -93,12 +148,15 @@ impl<'a> Simulator<'a> {
     pub fn set_stuck(&mut self, net: NetId, level: Logic) {
         self.stuck.retain(|&(n, _)| n != net);
         self.stuck.push((net, level));
-        self.values[net.index()] = level;
+        self.write_net(net, level);
     }
 
     /// Removes all stuck-at forces.
     pub fn clear_stuck(&mut self) {
         self.stuck.clear();
+        // Formerly-stuck nets must revert to their drivers' outputs even
+        // though no input net changed.
+        self.all_dirty = true;
     }
 
     fn stuck_level(&self, net: NetId) -> Option<Logic> {
@@ -161,6 +219,10 @@ impl<'a> Simulator<'a> {
             return;
         }
         self.domains[id.index()].powered = on;
+        // Combinational cells in the domain change output (to or from X)
+        // with no input-net change, so the incremental settle must visit
+        // everything once.
+        self.all_dirty = true;
         if !on {
             for (cell_id, cell) in self.netlist.cells() {
                 if self.domain_of[cell_id.index()] == id && cell.kind().is_sequential() {
@@ -200,7 +262,9 @@ impl<'a> Simulator<'a> {
                 self.retention[cell_id.index()] = self.values[cell.output().index()];
             } else if powered {
                 // Restore slave -> master.
-                self.values[cell.output().index()] = self.retention[cell_id.index()];
+                let out = cell.output();
+                let restored = self.retention[cell_id.index()];
+                self.write_net(out, restored);
             }
         }
     }
@@ -219,7 +283,20 @@ impl<'a> Simulator<'a> {
             self.netlist.driver(net).is_none(),
             "net {net} is cell-driven; only primary inputs can be set"
         );
-        self.values[net.index()] = value;
+        self.write_net(net, value);
+    }
+
+    /// Writes a net value, flagging it for the incremental settle when
+    /// it actually changed.
+    fn write_net(&mut self, net: NetId, value: Logic) {
+        let i = net.index();
+        if self.values[i] != value {
+            self.values[i] = value;
+            if !self.dirty[i] {
+                self.dirty[i] = true;
+                self.dirty_list.push(i as u32);
+            }
+        }
     }
 
     /// Sets a primary input port by name.
@@ -279,7 +356,7 @@ impl<'a> Simulator<'a> {
     pub fn force_ff(&mut self, cell: CellId, value: Logic) {
         let c = self.netlist.cell(cell);
         assert!(c.kind().is_sequential(), "cell {cell} is not a flip-flop");
-        self.values[c.output().index()] = value;
+        self.write_net(c.output(), value);
     }
 
     /// Retention-latch contents of a retention flip-flop.
@@ -329,46 +406,127 @@ impl<'a> Simulator<'a> {
     /// Settles the combinational logic for the current inputs and
     /// register values, accumulating switching energy for every net that
     /// changes.
+    ///
+    /// The pass is incremental: a cell is evaluated only when one of its
+    /// input nets changed since the last settle (every evaluation is a
+    /// pure function of the inputs, so an unchanged cone cannot produce
+    /// a new output). Events that invalidate outputs without touching
+    /// inputs — power switching, [`clear_stuck`](Self::clear_stuck) —
+    /// force one full pass.
     pub fn settle(&mut self) {
-        let mut buf = [Logic::X; 3];
-        for &cell_id in self.netlist.topo_order() {
-            let cell = self.netlist.cell(cell_id);
-            let n = cell.inputs().len();
-            for (slot, &inp) in buf.iter_mut().zip(cell.inputs()) {
-                *slot = self.values[inp.index()];
-            }
-            let powered = self.domains[self.domain_of[cell_id.index()].index()].powered;
-            let mut new = if powered {
-                cell.kind().eval(&buf[..n])
-            } else {
-                Logic::X
-            };
-            if !self.stuck.is_empty() {
-                if let Some(level) = self.stuck_level(cell.output()) {
-                    new = level;
-                }
-            }
-            let out = cell.output().index();
-            let old = self.values[out];
-            if old != new {
-                if old.is_known() && new.is_known() {
-                    self.toggles += 1;
-                    self.dynamic_pj += self.lib.params(cell.kind()).toggle_energy_pj;
-                }
-                self.values[out] = new;
+        // With a small change frontier the event-driven walk wins; past
+        // that, a linear flag-checking scan over the topological order
+        // has better constants. Either way the evaluated cells — and the
+        // order they are evaluated in — are identical.
+        const SPARSE_LIMIT: usize = 32;
+        if self.all_dirty || self.dirty_list.len() >= SPARSE_LIMIT {
+            self.settle_full();
+        } else {
+            self.settle_sparse();
+        }
+    }
+
+    /// Evaluates one combinational cell (shared by both settle paths);
+    /// returns the cell's output net index when the output changed.
+    #[inline]
+    fn eval_cell(&mut self, cell_id: CellId) -> Option<usize> {
+        let cell = self.netlist.cell(cell_id);
+        let n = cell.inputs().len();
+        debug_assert!(
+            n <= self.ibuf.len(),
+            "cell {cell_id} fan-in {n} exceeds the sized input buffer"
+        );
+        for (k, &inp) in cell.inputs().iter().enumerate() {
+            self.ibuf[k] = self.values[inp.index()];
+        }
+        let powered = self.domains[self.domain_of[cell_id.index()].index()].powered;
+        let mut new = if powered {
+            cell.kind().eval(&self.ibuf[..n])
+        } else {
+            Logic::X
+        };
+        if !self.stuck.is_empty() {
+            if let Some(level) = self.stuck_level(cell.output()) {
+                new = level;
             }
         }
+        let out = cell.output().index();
+        let old = self.values[out];
+        if old == new {
+            return None;
+        }
+        if old.is_known() && new.is_known() {
+            self.toggles += 1;
+            self.dynamic_pj += self.lib.params(cell.kind()).toggle_energy_pj;
+        }
+        self.values[out] = new;
+        Some(out)
+    }
+
+    /// The linear settle: walk the whole topological order, evaluating
+    /// cells with a changed input (or everything when `all_dirty`).
+    fn settle_full(&mut self) {
+        let all = self.all_dirty;
+        for &cell_id in self.netlist.topo_order() {
+            let cell = self.netlist.cell(cell_id);
+            if !all && !cell.inputs().iter().any(|inp| self.dirty[inp.index()]) {
+                continue;
+            }
+            if let Some(out) = self.eval_cell(cell_id) {
+                self.dirty[out] = true;
+            }
+        }
+        // Every flag set before or during this pass has been consumed
+        // (loads follow drivers in topological order).
+        self.dirty.fill(false);
+        self.dirty_list.clear();
+        self.all_dirty = false;
+    }
+
+    /// The event-driven settle: seed a queue with the loads of the dirty
+    /// nets and walk it in topological order, enqueueing further loads
+    /// only when an output actually changes. Evaluates the same cells in
+    /// the same order as [`settle_full`](Self::settle_full) — it just
+    /// never visits the quiet ones.
+    fn settle_sparse(&mut self) {
+        let mut heap = std::mem::take(&mut self.heap);
+        for k in 0..self.dirty_list.len() {
+            let net = self.dirty_list[k] as usize;
+            self.dirty[net] = false;
+            for j in 0..self.fanout[net].len() {
+                let pos = self.fanout[net][j];
+                if !self.queued[pos as usize] {
+                    self.queued[pos as usize] = true;
+                    heap.push(std::cmp::Reverse(pos));
+                }
+            }
+        }
+        self.dirty_list.clear();
+        while let Some(std::cmp::Reverse(pos)) = heap.pop() {
+            // Safe to unqueue on pop: loads sit strictly later in the
+            // topological order, so a popped cell can never be re-pushed.
+            self.queued[pos as usize] = false;
+            let cell_id = self.netlist.topo_order()[pos as usize];
+            if let Some(out) = self.eval_cell(cell_id) {
+                for j in 0..self.fanout[out].len() {
+                    let succ = self.fanout[out][j];
+                    if !self.queued[succ as usize] {
+                        self.queued[succ as usize] = true;
+                        heap.push(std::cmp::Reverse(succ));
+                    }
+                }
+            }
+        }
+        self.heap = heap;
     }
 
     /// Advances one clock cycle: settle, capture, commit, settle.
     pub fn step(&mut self) {
         self.settle();
         // Capture.
-        let mut buf = [Logic::X; 3];
-        for (cell_id, cell) in self.netlist.cells() {
-            if !cell.kind().is_sequential() {
-                continue;
-            }
+        for s in 0..self.seq.len() {
+            let cell_id = self.seq[s];
+            let cell = self.netlist.cell(cell_id);
             let dom = &self.domains[self.domain_of[cell_id.index()].index()];
             let next = if !dom.powered {
                 Logic::X
@@ -377,18 +535,21 @@ impl<'a> Simulator<'a> {
                 self.values[cell.output().index()]
             } else {
                 let n = cell.inputs().len();
-                for (slot, &inp) in buf.iter_mut().zip(cell.inputs()) {
-                    *slot = self.values[inp.index()];
+                debug_assert!(
+                    n <= self.ibuf.len(),
+                    "cell {cell_id} fan-in {n} exceeds the sized input buffer"
+                );
+                for (k, &inp) in cell.inputs().iter().enumerate() {
+                    self.ibuf[k] = self.values[inp.index()];
                 }
-                cell.kind().eval(&buf[..n])
+                cell.kind().eval(&self.ibuf[..n])
             };
             self.next_ff[cell_id.index()] = next;
         }
         // Commit + clock energy.
-        for (cell_id, cell) in self.netlist.cells() {
-            if !cell.kind().is_sequential() {
-                continue;
-            }
+        for s in 0..self.seq.len() {
+            let cell_id = self.seq[s];
+            let cell = self.netlist.cell(cell_id);
             let idx = cell_id.index();
             let dom = &self.domains[self.domain_of[idx].index()];
             let params = self.lib.params(cell.kind());
@@ -409,6 +570,10 @@ impl<'a> Simulator<'a> {
                     self.dynamic_pj += params.toggle_energy_pj;
                 }
                 self.values[out] = new;
+                if !self.dirty[out] {
+                    self.dirty[out] = true;
+                    self.dirty_list.push(out as u32);
+                }
             }
         }
         self.cycles += 1;
@@ -703,6 +868,55 @@ mod tests {
         sim.force_ff(f0, Logic::Zero);
         sim.settle();
         assert_eq!(sim.value(y), Logic::One, "xor output stuck high");
+    }
+
+    #[test]
+    fn incremental_settle_matches_direct_evaluation() {
+        // After an arbitrary mix of stimulus, stuck forcing and power
+        // events, every powered combinational cell's output must equal a
+        // direct evaluation of its current inputs — i.e. the dirty-flag
+        // bookkeeping never skips a cell that needed re-evaluation.
+        let (nl, f0, f1) = shifter();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        let pd = sim.define_domain("gated");
+        sim.assign_domain(f0, pd);
+        sim.assign_domain(f1, pd);
+        let check = |sim: &Simulator| {
+            for (_, cell) in nl.cells() {
+                if cell.kind().is_sequential() {
+                    continue;
+                }
+                let ins: Vec<Logic> = cell.inputs().iter().map(|&n| sim.value(n)).collect();
+                assert_eq!(
+                    sim.value(cell.output()),
+                    cell.kind().eval(&ins),
+                    "stale output on {:?}",
+                    cell.kind()
+                );
+            }
+        };
+        sim.force_ff(f0, Logic::One);
+        sim.force_ff(f1, Logic::Zero);
+        for i in 0..6 {
+            sim.set_port("d", Logic::from(i % 2 == 0)).unwrap();
+            sim.step();
+            check(&sim);
+        }
+        let q0 = nl.cell(f0).output();
+        sim.set_stuck(q0, Logic::One);
+        sim.step();
+        sim.clear_stuck();
+        sim.set_port("d", Logic::Zero).unwrap();
+        sim.settle();
+        check(&sim);
+        sim.set_retain(pd, true);
+        sim.set_power(pd, false);
+        sim.step();
+        sim.set_power(pd, true);
+        sim.set_retain(pd, false);
+        sim.settle();
+        check(&sim);
     }
 
     #[test]

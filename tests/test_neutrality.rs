@@ -100,53 +100,93 @@ fn fault_coverage_survives_monitor_insertion() {
         })
         .collect();
 
+    // The monitor controls exist only on the protected netlist; naming
+    // them against the plain one is now (correctly) an error, so the
+    // reference run gets its own config without them.
     let cfg = FaultSimConfig {
         patterns: 24,
         seed: 0x7E57,
         max_faults: None,
-        hold_low: vec![
-            "mon_en".into(),
-            "mon_decode".into(),
-            "mon_clear".into(),
-            "mon_sig_cap".into(),
-        ],
+        hold_low: protected.monitor.hold_low_ports(),
+        threads: 4,
+    };
+    let plain_cfg = FaultSimConfig {
+        hold_low: vec![],
+        ..cfg.clone()
     };
     let before = fault_coverage(
         &plain,
         ScanAccess::Direct(&plain_chains),
         &lib,
         &faults,
-        &cfg,
-    );
+        &plain_cfg,
+    )
+    .expect("reference fault simulation");
     let after = fault_coverage(
         &protected.netlist,
         ScanAccess::TestMode(&protected.chains, tm),
         &lib,
         &faults,
         &cfg,
-    );
+    )
+    .expect("protected fault simulation");
+    let before_pct = before.coverage_pct().expect("faults simulated");
+    let after_pct = after.coverage_pct().expect("faults simulated");
     // The two testers apply *different* effective stimulus (the padded,
     // concatenated chains map the same random bits to different flops),
     // so random-pattern coverage matches only within statistical noise —
     // the claim is that observability is preserved, not that the same
     // random patterns excite the same rare decode coincidences.
     assert!(
-        (before.coverage_pct() - after.coverage_pct()).abs() <= 5.0,
+        (before_pct - after_pct).abs() <= 5.0,
         "monitor insertion must not lose manufacturing-test coverage: \
-         before {:.1}%, after {:.1}% (missed after: {:?})",
-        before.coverage_pct(),
-        after.coverage_pct(),
+         before {before_pct:.1}%, after {after_pct:.1}% (missed after: {:?})",
         after.undetected_sample
     );
-    assert!(after.coverage_pct() > 80.0, "{:.1}%", after.coverage_pct());
+    assert!(after_pct > 80.0, "{after_pct:.1}%");
     // Random-pattern scan test is not full ATPG; datapath-decode faults
     // need specific pointer/enable coincidences. What matters here is
     // the before/after equality, but the reference must still be a real
     // test.
     assert!(
-        before.coverage_pct() > 75.0,
-        "the reference scan test itself must be effective: {:.1}%",
-        before.coverage_pct()
+        before_pct > 75.0,
+        "the reference scan test itself must be effective: {before_pct:.1}%"
+    );
+}
+
+#[test]
+fn misspelled_hold_low_port_is_rejected_loudly() {
+    // A typo in a monitor-control name used to be silently dropped: the
+    // port then received random stimulus and the coverage number was
+    // quietly wrong. It must be an error naming the port instead.
+    let lib = CellLibrary::st120nm();
+    let fifo = Fifo::generate(4, 4);
+    let protected = Synthesizer::new(fifo.netlist)
+        .chains(4)
+        .code(CodeChoice::hamming7_4())
+        .test_width(2)
+        .build()
+        .unwrap();
+    let tm = protected.test_mode.as_ref().unwrap();
+    let faults = vec![Fault {
+        cell: scanguard_netlist::CellId::from_index(0),
+        stuck: StuckAt::Zero,
+    }];
+    let err = fault_coverage(
+        &protected.netlist,
+        ScanAccess::TestMode(&protected.chains, tm),
+        &lib,
+        &faults,
+        &FaultSimConfig {
+            patterns: 2,
+            hold_low: vec!["mon_en".into(), "mon_decoed".into()],
+            ..FaultSimConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("mon_decoed"),
+        "error must name the misspelled port: {err}"
     );
 }
 
