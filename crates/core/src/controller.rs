@@ -37,6 +37,27 @@ pub enum MonPhase {
     Check,
 }
 
+impl MonPhase {
+    /// The phase name as it appears on the observability timeline.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MonPhase::Active => "Active",
+            MonPhase::EncodeClear => "EncodeClear",
+            MonPhase::Encode => "Encode",
+            MonPhase::EncodeCapture => "EncodeCapture",
+            MonPhase::Save => "Save",
+            MonPhase::PowerDown => "PowerDown",
+            MonPhase::Sleep => "Sleep",
+            MonPhase::PowerUp => "PowerUp",
+            MonPhase::Restore => "Restore",
+            MonPhase::DecodeClear => "DecodeClear",
+            MonPhase::Decode => "Decode",
+            MonPhase::Check => "Check",
+        }
+    }
+}
+
 /// Per-cycle control outputs of the proposed controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MonOutputs {

@@ -11,7 +11,9 @@
 use crate::{MonOutputs, MonPhase, ProposedController, ProposedTiming, ProtectedDesign};
 use scanguard_dft::{Lfsr, ScanChains};
 use scanguard_netlist::Logic;
+use scanguard_obs::{arg, ArgValue, Lane, PhaseLog, Recorder};
 use scanguard_sim::{DomainId, EnergyWindow, Simulator};
+use std::sync::Arc;
 
 /// Result of one sleep/wake traversal.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -75,6 +77,7 @@ pub struct ProtectedRuntime<'a> {
     ctrl: ProposedController,
     domain: DomainId,
     sleep_cycles: u64,
+    obs: Option<Arc<Recorder>>,
 }
 
 impl<'a> ProtectedRuntime<'a> {
@@ -110,10 +113,24 @@ impl<'a> ProtectedRuntime<'a> {
             ctrl,
             domain,
             sleep_cycles: 4,
+            obs: None,
         };
         rt.apply(rt.ctrl.outputs());
         rt.sim.settle();
         rt
+    }
+
+    /// Starts recording onto `rec`: every
+    /// [`sleep_wake`](Self::sleep_wake) emits the Fig. 3(b) phase
+    /// sequence as spans on [`Lane::Controller`] — each span closed with
+    /// its cycle count, switching energy and toggle count — plus an
+    /// instant mark at the rush-current upset, and the underlying
+    /// simulator streams its incremental-settle metrics (see
+    /// [`Simulator::attach_obs`]). The report is unchanged: observation
+    /// never perturbs simulation.
+    pub fn attach_obs(&mut self, rec: Arc<Recorder>) {
+        self.sim.attach_obs(&rec);
+        self.obs = Some(rec);
     }
 
     /// Access to the underlying simulator (drive functional ports, read
@@ -227,33 +244,40 @@ impl<'a> ProtectedRuntime<'a> {
         };
         let mut slept = 0u64;
         let mut last = MonPhase::Active;
+        let mut plog = PhaseLog::new(Lane::Controller);
         let budget = 20 * self.design.chain_len() as u64 + self.sleep_cycles + 200;
         for _ in 0..budget {
             let sleep_req = slept < self.sleep_cycles;
             let out = self.ctrl.tick(sleep_req);
             let phase = self.ctrl.phase();
-            // Energy window boundaries: the encode/decode windows span
-            // exactly the `l` shift cycles, matching the paper's
-            // definition of encoding/decoding power (the clear/capture
-            // bookkeeping cycles are excluded).
+            // Energy window boundaries: taking the window at *every*
+            // phase change partitions the run per phase; the encode and
+            // decode windows still span exactly the `l` shift cycles,
+            // matching the paper's definition of encoding/decoding
+            // power (the clear/capture bookkeeping cycles land in their
+            // own windows, as before).
             if phase != last {
-                match (last, phase) {
-                    (MonPhase::EncodeClear, MonPhase::Encode)
-                    | (MonPhase::DecodeClear, MonPhase::Decode) => {
-                        let _ = self.sim.take_energy();
-                    }
-                    (MonPhase::Encode, MonPhase::EncodeCapture) => {
-                        report.encode = self.sim.take_energy();
-                    }
-                    (MonPhase::Decode, MonPhase::Check) => {
-                        report.decode = self.sim.take_energy();
-                    }
+                let window = self.sim.take_energy();
+                match last {
+                    MonPhase::Encode => report.encode = window,
+                    MonPhase::Decode => report.decode = window,
                     _ => {}
+                }
+                if let Some(rec) = &self.obs {
+                    plog.transition(rec, phase.name(), report.total_cycles, energy_args(&window));
                 }
             }
             self.apply(out);
             if last == MonPhase::Sleep && phase == MonPhase::PowerUp {
                 report.upsets = upset(&mut self.sim, &self.design.chains);
+                if let Some(rec) = &self.obs {
+                    rec.instant(
+                        Lane::Controller,
+                        "rush_upset",
+                        report.total_cycles,
+                        vec![arg("flips", report.upsets)],
+                    );
+                }
             }
             if phase == MonPhase::Sleep {
                 slept += 1;
@@ -272,7 +296,7 @@ impl<'a> ProtectedRuntime<'a> {
                 // Next tick returns to Active; close out there.
                 let out = self.ctrl.tick(false);
                 assert_eq!(self.ctrl.phase(), MonPhase::Active, "FSM must close");
-                let _ = self.sim.take_energy();
+                let window = self.sim.take_energy();
                 self.apply(out);
                 self.sim.settle();
                 let after = self.design.chains.snapshot(&self.sim);
@@ -282,11 +306,34 @@ impl<'a> ProtectedRuntime<'a> {
                     .zip(after.iter().flatten())
                     .filter(|(a, b)| a != b)
                     .count();
+                if let Some(rec) = &self.obs {
+                    plog.finish(rec, report.total_cycles, energy_args(&window));
+                    rec.instant(
+                        Lane::Controller,
+                        "sleep_wake.done",
+                        report.total_cycles,
+                        vec![
+                            arg("upsets", report.upsets),
+                            arg("residual_errors", report.residual_errors),
+                            arg("error_observed", u64::from(report.error_observed)),
+                        ],
+                    );
+                }
                 return report;
             }
         }
         panic!("controller failed to return to Active within {budget} cycles");
     }
+}
+
+/// The closing arguments of one phase span: what the window of cycles
+/// spent in it cost (the span's `cycles` count is attached by the
+/// phase log itself).
+fn energy_args(window: &EnergyWindow) -> Vec<(String, ArgValue)> {
+    vec![
+        arg("energy_pj", window.dynamic_pj),
+        arg("toggles", window.toggles),
+    ]
 }
 
 #[cfg(test)]

@@ -1,0 +1,141 @@
+//! Controller FSM phase-event sequence (paper Fig. 3(b)): a
+//! protected-FIFO sleep/wake run must emit the encode → sleep → wake →
+//! decode/check phases in order, with per-phase cycle counts summing to
+//! the run total and per-phase energy matching the report's windows —
+//! and attaching the recorder must not change the run itself.
+
+use proptest::prelude::*;
+use scanguard_core::{CodeChoice, SleepWakeReport, Synthesizer};
+use scanguard_designs::Fifo;
+use scanguard_obs::{ArgValue, Event, EventKind, Lane, Recorder, RecorderConfig};
+use std::sync::Arc;
+
+/// The Fig. 3(b) traversal order, as span names on the controller lane.
+const FIG3B: &[&str] = &[
+    "EncodeClear",
+    "Encode",
+    "EncodeCapture",
+    "Save",
+    "PowerDown",
+    "Sleep",
+    "PowerUp",
+    "Restore",
+    "DecodeClear",
+    "Decode",
+    "Check",
+];
+
+fn u64_arg(ev: &Event, key: &str) -> u64 {
+    match ev.args.iter().find(|(k, _)| k == key) {
+        Some((_, ArgValue::U(v))) => *v,
+        other => panic!("span {:?} missing u64 arg {key:?}: {other:?}", ev.name),
+    }
+}
+
+fn f64_arg(ev: &Event, key: &str) -> f64 {
+    match ev.args.iter().find(|(k, _)| k == key) {
+        Some((_, ArgValue::F(v))) => *v,
+        other => panic!("span {:?} missing f64 arg {key:?}: {other:?}", ev.name),
+    }
+}
+
+fn run(w: usize, sleep_cycles: u64, observed: bool) -> (SleepWakeReport, Vec<Event>) {
+    let fifo = Fifo::generate(4, 4);
+    let design = Synthesizer::new(fifo.netlist)
+        .chains(w)
+        .code(CodeChoice::hamming7_4())
+        .build()
+        .unwrap();
+    let mut rt = design.runtime();
+    let rec = Arc::new(Recorder::new(RecorderConfig {
+        trace: true,
+        ..RecorderConfig::default()
+    }));
+    if observed {
+        rt.attach_obs(rec.clone());
+    }
+    rt.set_sleep_cycles(sleep_cycles);
+    rt.load_random_state(0xC0FFEE ^ w as u64);
+    let report = rt.sleep_wake(|sim, chains| {
+        sim.flip_retention(chains.chains[0].cells[0]);
+        1
+    });
+    (report, rec.events())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn phase_events_cover_the_run_in_order(
+        // Hamming(7,4) groups chains four at a time, so W is a multiple
+        // of 4.
+        w in (1usize..4).prop_map(|g| 4 * g),
+        sleep_cycles in 1u64..8,
+    ) {
+        let (report, events) = run(w, sleep_cycles, true);
+        let ctrl: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.lane == Lane::Controller)
+            .collect();
+
+        // Span opens walk the Fig. 3(b) sequence in order.
+        let opened: Vec<&str> = ctrl
+            .iter()
+            .filter(|e| e.kind == EventKind::Begin)
+            .map(|e| e.name.as_str())
+            .collect();
+        prop_assert_eq!(&opened, FIG3B);
+
+        // Per-phase cycle counts partition the run total.
+        let closes: Vec<&&Event> =
+            ctrl.iter().filter(|e| e.kind == EventKind::End).collect();
+        prop_assert_eq!(closes.len(), FIG3B.len());
+        let total: u64 = closes.iter().map(|e| u64_arg(e, "cycles")).sum();
+        prop_assert_eq!(total, report.total_cycles);
+
+        // Sleep lasted exactly what was asked; encode/decode span the
+        // chain length.
+        let by_name = |name: &str| {
+            *closes
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("no {name} close"))
+        };
+        prop_assert_eq!(u64_arg(by_name("Sleep"), "cycles"), sleep_cycles);
+        prop_assert_eq!(u64_arg(by_name("Encode"), "cycles"), report.encode.cycles);
+        prop_assert_eq!(u64_arg(by_name("Decode"), "cycles"), report.decode.cycles);
+
+        // The span energies are the report's encode/decode windows.
+        let close_enough = |a: f64, b: f64| (a - b).abs() < 1e-9;
+        prop_assert!(close_enough(
+            f64_arg(by_name("Encode"), "energy_pj"),
+            report.encode.dynamic_pj
+        ));
+        prop_assert!(close_enough(
+            f64_arg(by_name("Decode"), "energy_pj"),
+            report.decode.dynamic_pj
+        ));
+
+        // The rush upset and run summary landed on the timeline.
+        prop_assert!(ctrl.iter().any(|e| e.name == "rush_upset"));
+        let done = ctrl
+            .iter()
+            .find(|e| e.name == "sleep_wake.done")
+            .expect("summary instant");
+        prop_assert_eq!(u64_arg(done, "upsets"), 1);
+        prop_assert_eq!(u64_arg(done, "residual_errors"), 0);
+    }
+
+    #[test]
+    fn observation_does_not_perturb_the_run(
+        w in (1usize..4).prop_map(|g| 4 * g),
+        sleep_cycles in 1u64..8,
+    ) {
+        let (observed, events) = run(w, sleep_cycles, true);
+        let (plain, no_events) = run(w, sleep_cycles, false);
+        prop_assert_eq!(observed, plain);
+        prop_assert!(!events.is_empty());
+        prop_assert!(no_events.is_empty());
+    }
+}

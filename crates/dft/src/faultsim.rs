@@ -21,7 +21,8 @@
 
 use crate::{DftError, Lfsr, ScanChains, TestModeConfig};
 use scanguard_netlist::{CellId, CellLibrary, GateKind, Logic, NetId, Netlist};
-use scanguard_par::run_pool;
+use scanguard_obs::{arg, HistogramHandle, Lane, Recorder};
+use scanguard_par::run_pool_obs;
 use scanguard_sim::Simulator;
 use std::collections::HashSet;
 use std::time::Instant;
@@ -248,12 +249,19 @@ struct Tester<'a> {
     patterns: Vec<Pattern>,
     width: usize,
     length: usize,
+    obs: Option<&'a Recorder>,
 }
 
 impl Tester<'_> {
     /// A zero-driven simulator, optionally with one stuck-at injected.
     fn fresh_sim(&self, fault: Option<Fault>) -> Simulator<'_> {
         let mut sim = Simulator::new(self.netlist, self.lib);
+        if let Some(rec) = self.obs {
+            // Settle/frontier metrics are commutative sums over the
+            // (deterministic) per-fault runs, so they stay
+            // thread-count-blind.
+            sim.attach_obs(rec);
+        }
         for (_, net) in self.netlist.input_ports() {
             sim.set_net(*net, Logic::Zero);
         }
@@ -347,6 +355,9 @@ impl Tester<'_> {
     /// The fault-free run: one response per pattern plus the flush, and
     /// the cycle count of the full (never-dropped) test.
     fn golden(&self) -> (Vec<Response>, u64) {
+        if let Some(rec) = self.obs {
+            rec.begin(Lane::Controller, "golden", 0);
+        }
         let mut sim = self.fresh_sim(None);
         let mut responses: Vec<Response> = self
             .patterns
@@ -354,7 +365,19 @@ impl Tester<'_> {
             .map(|p| self.apply_pattern(&mut sim, p))
             .collect();
         responses.push(self.flush(&mut sim));
-        (responses, sim.cycles())
+        let cycles = sim.cycles();
+        if let Some(rec) = self.obs {
+            rec.end(
+                Lane::Controller,
+                "golden",
+                cycles,
+                vec![
+                    arg("cycles", cycles),
+                    arg("patterns", self.patterns.len() as u64),
+                ],
+            );
+        }
+        (responses, cycles)
     }
 
     /// Simulates one fault with dropping: every observed bit is checked
@@ -405,6 +428,40 @@ pub fn fault_coverage(
     lib: &CellLibrary,
     faults: &[Fault],
     cfg: &FaultSimConfig,
+) -> Result<CoverageReport, DftError> {
+    fault_coverage_obs(netlist, access, lib, faults, cfg, None)
+}
+
+/// [`fault_coverage`] with observability: when a [`Recorder`] is
+/// supplied, the run is traced and measured —
+///
+/// * the golden run becomes a `golden` span on the controller lane and
+///   each fault an instant on its worker's lane (cell, polarity, where
+///   it was first detected, cycles before dropping);
+/// * deterministic metrics `dft.faults`, `dft.faults.detected`,
+///   `dft.cycles.simulated`, `dft.cycles.dropped` and histograms
+///   `dft.fault_cycles` (cycles per fault before dropping) and
+///   `dft.detect_pattern` (first-detection pattern index) accumulate
+///   into the recorder's registry, together with the simulator's settle
+///   metrics — all commutative sums, so the deterministic snapshot is
+///   byte-identical at any thread count.
+///
+/// The report itself is byte-identical with and without a recorder.
+///
+/// # Errors
+///
+/// As [`fault_coverage`].
+///
+/// # Panics
+///
+/// As [`fault_coverage`].
+pub fn fault_coverage_obs(
+    netlist: &Netlist,
+    access: ScanAccess<'_>,
+    lib: &CellLibrary,
+    faults: &[Fault],
+    cfg: &FaultSimConfig,
+    obs: Option<&Recorder>,
 ) -> Result<CoverageReport, DftError> {
     let start = Instant::now();
     // Sample the fault list if requested.
@@ -474,25 +531,55 @@ pub fn fault_coverage(
         patterns,
         width: w,
         length: l,
+        obs,
     };
     let (golden, full_cycles) = tester.golden();
 
     // Fan the faults out; outcomes come back in index order, so the
     // merge below (and thus the whole report) is thread-count-blind.
-    let outcomes = run_pool(sampled.len(), cfg.threads, |i| {
-        tester.simulate_fault(sampled[i], &golden)
+    let outcomes = run_pool_obs(sampled.len(), cfg.threads, obs, |worker, i| {
+        let fault = sampled[i];
+        let outcome = tester.simulate_fault(fault, &golden);
+        if let Some(rec) = obs {
+            let detected = match outcome.detected_at {
+                Some(p) if p == cfg.patterns => "flush".to_owned(),
+                Some(p) => format!("p{p}"),
+                None => "undetected".to_owned(),
+            };
+            rec.instant(
+                Lane::Worker(worker as u32),
+                "fault",
+                outcome.cycles,
+                vec![
+                    arg("cell", fault.cell.index() as u64),
+                    arg("stuck", matches!(fault.stuck, StuckAt::One) as u64),
+                    arg("detected", detected.as_str()),
+                    arg("cycles", outcome.cycles),
+                ],
+            );
+        }
+        outcome
     });
 
+    let (fault_cycles, detect_pattern) = match obs {
+        Some(rec) => (
+            rec.histogram("dft.fault_cycles"),
+            rec.histogram("dft.detect_pattern"),
+        ),
+        None => (HistogramHandle::disabled(), HistogramHandle::disabled()),
+    };
     let mut detected = 0usize;
     let mut undetected_sample = Vec::new();
     let mut detected_at_pattern = vec![0usize; cfg.patterns + 1];
     let mut simulated_cycles = 0u64;
     for (fault, outcome) in sampled.iter().zip(&outcomes) {
         simulated_cycles += outcome.cycles;
+        fault_cycles.record(outcome.cycles);
         match outcome.detected_at {
             Some(p) => {
                 detected += 1;
                 detected_at_pattern[p] += 1;
+                detect_pattern.record(p as u64);
             }
             None => {
                 if undetected_sample.len() < 16 {
@@ -502,6 +589,12 @@ pub fn fault_coverage(
         }
     }
     let dropped_cycles = (full_cycles * sampled.len() as u64).saturating_sub(simulated_cycles);
+    if let Some(rec) = obs {
+        rec.counter("dft.faults").add(sampled.len() as u64);
+        rec.counter("dft.faults.detected").add(detected as u64);
+        rec.counter("dft.cycles.simulated").add(simulated_cycles);
+        rec.counter("dft.cycles.dropped").add(dropped_cycles);
+    }
     Ok(CoverageReport {
         faults: sampled.len(),
         detected,
@@ -765,5 +858,88 @@ mod tests {
             serde_json::to_string(&r).unwrap()
         };
         assert_eq!(normalize(serial), normalize(parallel));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_metrics_snapshot() {
+        use scanguard_obs::RecorderConfig;
+        let (nl, sc) = scanned();
+        let lib = CellLibrary::st120nm();
+        let faults = enumerate_faults(&nl);
+        let run = |threads: usize| {
+            let rec = Recorder::new(RecorderConfig {
+                metrics: true,
+                ..RecorderConfig::default()
+            });
+            let report = fault_coverage_obs(
+                &nl,
+                ScanAccess::Direct(&sc),
+                &lib,
+                &faults,
+                &FaultSimConfig {
+                    patterns: 8,
+                    threads,
+                    ..FaultSimConfig::default()
+                },
+                Some(&rec),
+            )
+            .unwrap();
+            (report, rec.metrics_snapshot())
+        };
+        let (serial_report, serial) = run(1);
+        let (parallel_report, parallel) = run(8);
+        assert_eq!(serial_report, parallel_report);
+        assert_eq!(
+            serial, parallel,
+            "deterministic metrics must be thread-count-blind"
+        );
+        assert_eq!(serial.deterministic_json(), parallel.deterministic_json());
+        assert_eq!(serial.counters["dft.faults"], faults.len() as u64);
+        assert_eq!(
+            serial.counters["dft.faults.detected"],
+            serial_report.detected as u64
+        );
+        assert_eq!(
+            serial.histograms["dft.fault_cycles"].count,
+            faults.len() as u64
+        );
+        assert!(serial.counters["sim.cell_evals"] > 0, "sim metrics flow in");
+    }
+
+    #[test]
+    fn observed_run_reports_the_same_coverage() {
+        use scanguard_obs::{EventKind, RecorderConfig};
+        let (nl, sc) = scanned();
+        let lib = CellLibrary::st120nm();
+        let faults = enumerate_faults(&nl);
+        let cfg = FaultSimConfig {
+            patterns: 8,
+            threads: 2,
+            ..FaultSimConfig::default()
+        };
+        let rec = Recorder::new(RecorderConfig {
+            trace: true,
+            ..RecorderConfig::default()
+        });
+        let plain = fault_coverage(&nl, ScanAccess::Direct(&sc), &lib, &faults, &cfg).unwrap();
+        let observed = fault_coverage_obs(
+            &nl,
+            ScanAccess::Direct(&sc),
+            &lib,
+            &faults,
+            &cfg,
+            Some(&rec),
+        )
+        .unwrap();
+        assert_eq!(plain, observed, "tracing must not change the report");
+        let events = rec.events();
+        assert!(events
+            .iter()
+            .any(|e| e.lane == Lane::Controller && e.name == "golden"));
+        let fault_marks = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Instant && e.name == "fault")
+            .count();
+        assert_eq!(fault_marks, faults.len(), "one instant per fault");
     }
 }

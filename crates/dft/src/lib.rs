@@ -55,7 +55,8 @@ mod testmode;
 
 pub use error::DftError;
 pub use faultsim::{
-    enumerate_faults, fault_coverage, CoverageReport, Fault, FaultSimConfig, ScanAccess, StuckAt,
+    enumerate_faults, fault_coverage, fault_coverage_obs, CoverageReport, Fault, FaultSimConfig,
+    ScanAccess, StuckAt,
 };
 pub use inject::{attach_injector, ErrorPattern, Injector};
 pub use lfsr::Lfsr;

@@ -15,8 +15,9 @@ use scanguard_core::{break_even, cost_header, measure_cost, CodeChoice, Synthesi
 use scanguard_designs::Fifo;
 use scanguard_explore::{report, DesignSpec, Objective, SpaceReport, SpaceSpec};
 use scanguard_harness::{
-    ablation_rush, cost_sweep, fig10_family, print_table, validation, Fig10Config,
+    ablation_rush, cost_sweep, fig10_family, print_table, validation_obs, Fig10Config,
 };
+use scanguard_obs::{Level, Recorder, RecorderConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -26,8 +27,11 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match parse_opts(rest).and_then(|o| check_keys(cmd, &o).map(|()| o)) {
-        Ok(o) => o,
+    let parsed = parse_opts(rest)
+        .and_then(|o| check_keys(cmd, &o).map(|()| o))
+        .and_then(|o| Obs::from_opts(&o).map(|obs| (o, obs)));
+    let (opts, obs) = match parsed {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             return ExitCode::FAILURE;
@@ -36,26 +40,89 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "cost" => cmd_cost(&opts),
         "sweep" => cmd_sweep(&opts),
-        "explore" => cmd_explore(&opts),
+        "explore" => cmd_explore(&opts, &obs),
         "pareto" => cmd_pareto(&opts),
-        "validate" => cmd_validate(&opts),
+        "validate" => cmd_validate(&opts, &obs),
         "fig10" => cmd_fig10(&opts),
         "rush" => cmd_rush(&opts),
-        "coverage" => cmd_coverage(&opts),
+        "coverage" => cmd_coverage(&opts, &obs),
         "verilog" => cmd_verilog(&opts),
         "json" => cmd_json(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(format!(
+            "unknown command {other:?} (valid: {})",
+            command_names().join(" ")
+        )),
     };
+    let result = result.and_then(|()| obs.finish());
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The observability context every command runs under: one recorder,
+/// plus what to do with it when the command succeeds.
+struct Obs {
+    rec: std::sync::Arc<Recorder>,
+    trace_out: Option<String>,
+    metrics: bool,
+}
+
+impl Obs {
+    fn from_opts(opts: &HashMap<String, String>) -> Result<Obs, String> {
+        let mut level = match opts.get("log-level") {
+            Some(v) => v.parse::<Level>()?,
+            None => Level::Info,
+        };
+        if get(opts, "quiet", false)? {
+            level = Level::Warn;
+        }
+        let trace_out = opts.get("trace-out").cloned();
+        let trace = get(opts, "trace", false)? || trace_out.is_some();
+        let metrics = get(opts, "metrics", false)?;
+        Ok(Obs {
+            rec: std::sync::Arc::new(Recorder::new(RecorderConfig {
+                level,
+                trace,
+                metrics,
+                ..RecorderConfig::default()
+            })),
+            trace_out,
+            metrics,
+        })
+    }
+
+    /// The recorder, only while event or metric collection is on —
+    /// commands hand this down so the disabled path is exactly the
+    /// un-instrumented code.
+    fn active(&self) -> Option<&Recorder> {
+        (self.rec.trace_enabled() || self.rec.metrics_enabled()).then_some(&*self.rec)
+    }
+
+    /// Flushes the sinks after a successful command: the trace file
+    /// (JSONL when the path ends in `.jsonl`, Chrome trace-event JSON
+    /// otherwise) and the metrics snapshot on stdout.
+    fn finish(&self) -> Result<(), String> {
+        if let Some(path) = &self.trace_out {
+            let doc = if path.ends_with(".jsonl") {
+                self.rec.to_jsonl()?
+            } else {
+                self.rec.to_chrome_trace()?
+            };
+            std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        if self.metrics {
+            println!("{}", self.rec.metrics_snapshot().to_json()?);
+        }
+        Ok(())
     }
 }
 
@@ -89,6 +156,16 @@ COMMANDS:
               --depth N --width N --chains N --code CODE [--out FILE]
   json      export a protected FIFO netlist as JSON
               --depth N --width N --chains N --code CODE [--out FILE]
+
+GLOBAL OPTIONS (any command):
+  --log-level off|error|warn|info|debug|trace   stderr log threshold (default info)
+  --quiet                                       shorthand for --log-level warn
+  --trace                                       record structured events
+  --trace-out FILE                              write the trace (implies --trace);
+                                                  .jsonl = event stream, else
+                                                  Chrome trace JSON (Perfetto)
+  --metrics                                     collect counters/histograms and
+                                                  print the snapshot on success
 
 CODE: crc16 | hamming:M | secded:M | parity:GW   (M = parity bits, 3..=6)";
 
@@ -133,14 +210,29 @@ const COMMAND_KEYS: &[(&str, &[&str])] = &[
     ),
 ];
 
+/// Options every command understands (the observability layer).
+const GLOBAL_KEYS: &[&str] = &["log-level", "quiet", "trace", "trace-out", "metrics"];
+
+/// Global options that are flags: the value is optional and defaults
+/// to `true`.
+const FLAG_KEYS: &[&str] = &["quiet", "trace", "metrics"];
+
+fn command_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = COMMAND_KEYS.iter().map(|(c, _)| *c).collect();
+    names.push("help");
+    names
+}
+
 fn check_keys(cmd: &str, opts: &HashMap<String, String>) -> Result<(), String> {
     let Some((_, keys)) = COMMAND_KEYS.iter().find(|(c, _)| *c == cmd) else {
         return Ok(());
     };
-    match opts.keys().find(|k| !keys.contains(&k.as_str())) {
+    let valid = |k: &str| keys.contains(&k) || GLOBAL_KEYS.contains(&k);
+    match opts.keys().find(|k| !valid(k.as_str())) {
         Some(bad) => Err(format!(
             "unknown option --{bad} for {cmd} (valid: {})",
             keys.iter()
+                .chain(GLOBAL_KEYS)
                 .map(|k| format!("--{k}"))
                 .collect::<Vec<_>>()
                 .join(" ")
@@ -151,11 +243,20 @@ fn check_keys(cmd: &str, opts: &HashMap<String, String>) -> Result<(), String> {
 
 fn parse_opts(rest: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
-    let mut it = rest.iter();
+    let mut it = rest.iter().peekable();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --key, got {key:?}"));
         };
+        if FLAG_KEYS.contains(&name) {
+            // A bare flag means true; an explicit true/false still parses.
+            let value = match it.peek() {
+                Some(v) if *v == "true" || *v == "false" => it.next().unwrap().clone(),
+                _ => "true".to_owned(),
+            };
+            opts.insert(name.to_owned(), value);
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("missing value for --{name}"))?;
@@ -271,7 +372,7 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explore(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_explore(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> {
     let design = DesignSpec::parse(opts.get("design").map_or("fifo32x32", String::as_str))?;
     let threads = get(opts, "threads", num_threads_default())?;
     let mut spec = SpaceSpec::paper(design);
@@ -279,20 +380,20 @@ fn cmd_explore(opts: &HashMap<String, String>) -> Result<(), String> {
     spec.w_max = get(opts, "wmax", spec.w_max)?;
     spec.trials = get(opts, "trials", spec.trials)?;
     let n = spec.enumerate().len();
-    println!(
+    obs.rec.info(&format!(
         "exploring {} ({} flops): {} points on {} threads...",
         design.label(),
         design.ff_count(),
         n,
         threads
-    );
-    let result = scanguard_explore::explore(&spec, threads)?;
-    println!(
+    ));
+    let result = scanguard_explore::explore_obs(&spec, threads, obs.active())?;
+    obs.rec.info(&format!(
         "evaluated {} points ({} unique builds, {} cache hits)",
         result.points.len(),
         result.cache.misses,
         result.cache.hits
-    );
+    ));
     print_front(
         &result,
         &[Objective::AreaOverheadPct, Objective::LatencyNs],
@@ -375,15 +476,16 @@ fn print_front(
     Ok(())
 }
 
-fn cmd_validate(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_validate(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> {
     let sequences = get(opts, "sequences", 10u64)?;
     let mode = opts.get("mode").map_or("single", String::as_str);
     match mode {
         "single" | "burst" | "none" => {}
         other => return Err(format!("unknown mode {other:?}")),
     }
-    println!("running the Fig. 8 testbench (32x32 FIFO, 80 chains)...");
-    let runs = validation(32, 32, 80, sequences);
+    obs.rec
+        .info("running the Fig. 8 testbench (32x32 FIFO, 80 chains)...");
+    let runs = validation_obs(32, 32, 80, sequences, obs.active().map(|_| &obs.rec));
     let show = |name: &str, s: scanguard_harness::ValidationStats| {
         println!(
             "  {name:<28} reported {}/{}  corrected {}/{}  comparator mismatches {}",
@@ -451,8 +553,8 @@ fn cmd_json(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_coverage(opts: &HashMap<String, String>) -> Result<(), String> {
-    use scanguard_dft::{enumerate_faults, fault_coverage, FaultSimConfig, ScanAccess};
+fn cmd_coverage(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> {
+    use scanguard_dft::{enumerate_faults, fault_coverage_obs, FaultSimConfig, ScanAccess};
     let mut opts = opts.clone();
     opts.entry("test-width".to_owned())
         .or_insert_with(|| "4".to_owned());
@@ -477,14 +579,14 @@ fn cmd_coverage(opts: &HashMap<String, String>) -> Result<(), String> {
     } else if scope != "all" {
         return Err(format!("unknown --scope {scope:?} (pgc | all)"));
     }
-    println!(
+    obs.rec.info(&format!(
         "{} {scope} faults; simulating {} with {} patterns on {} threads...",
         faults.len(),
         max_faults.unwrap_or(faults.len()).min(faults.len()),
         patterns,
         threads
-    );
-    let report = fault_coverage(
+    ));
+    let report = fault_coverage_obs(
         &design.netlist,
         ScanAccess::TestMode(&design.chains, tm),
         &design.library,
@@ -496,6 +598,7 @@ fn cmd_coverage(opts: &HashMap<String, String>) -> Result<(), String> {
             hold_low: design.monitor.hold_low_ports(),
             threads,
         },
+        obs.active(),
     )
     .map_err(|e| e.to_string())?;
     match report.coverage_pct() {
@@ -533,7 +636,21 @@ fn cmd_coverage(opts: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     if let Some(path) = opts.get("json") {
-        let doc = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        // Without --metrics the document is byte-identical to the
+        // pre-observability output; with it, the coverage report and the
+        // metrics snapshot ride in one object.
+        let doc = if obs.metrics {
+            let combined = serde::Value::Object(vec![
+                ("coverage".to_owned(), serde::Serialize::to_value(&report)),
+                (
+                    "metrics".to_owned(),
+                    serde::Serialize::to_value(&obs.rec.metrics_snapshot()),
+                ),
+            ]);
+            serde_json::to_string_pretty(&combined).map_err(|e| e.to_string())?
+        } else {
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        };
         report::write_file(path, &doc)?;
         println!("wrote {path}");
     }

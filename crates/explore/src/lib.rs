@@ -46,6 +46,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use scanguard_codes::SequenceCodec;
 use scanguard_core::{break_even, measure_cost, BreakEven, CodeChoice, CostRow, Synthesizer};
+use scanguard_obs::{arg, Lane, Recorder};
 use scanguard_power::{PowerNetwork, UpsetModel};
 
 /// What one synthesis run contributes to every wake variant of a
@@ -202,18 +203,61 @@ pub fn evaluate_point(
 ///
 /// Returns the first (by point id) build failure.
 pub fn explore(spec: &SpaceSpec, threads: usize) -> Result<SpaceReport, String> {
+    explore_obs(spec, threads, None)
+}
+
+/// [`explore`] with observability: when a [`Recorder`] is supplied,
+/// every design point becomes a span on its worker's lane (code, `W`,
+/// wake model) and the run's totals land in the metrics registry —
+/// `explore.points` plus the synthesis-cache `explore.cache.hits` /
+/// `explore.cache.misses` (all pure functions of `spec`, so the
+/// deterministic snapshot is thread-count-blind). The report itself is
+/// unchanged by observation.
+///
+/// # Errors
+///
+/// As [`explore`].
+pub fn explore_obs(
+    spec: &SpaceSpec,
+    threads: usize,
+    obs: Option<&Recorder>,
+) -> Result<SpaceReport, String> {
     let points = spec.enumerate();
     let ff_count = spec.design.ff_count();
     let cache: SynthCache<Result<BuildMetrics, String>> = SynthCache::new();
-    let results = run_pool(points.len(), threads, |i| {
-        evaluate_point(&points[i], &cache, spec.trials)
+    let results = scanguard_par::run_pool_obs(points.len(), threads, obs, |worker, i| {
+        let point = &points[i];
+        if let Some(rec) = obs {
+            rec.begin(Lane::Worker(worker as u32), "point", point.id as u64);
+        }
+        let result = evaluate_point(point, &cache, spec.trials);
+        if let Some(rec) = obs {
+            rec.end(
+                Lane::Worker(worker as u32),
+                "point",
+                point.id as u64,
+                vec![
+                    arg("id", point.id as u64),
+                    arg("code", point.code.name()),
+                    arg("chains", point.chains as u64),
+                    arg("wake", point.wake.label()),
+                ],
+            );
+        }
+        result
     });
+    let stats = cache.stats();
+    if let Some(rec) = obs {
+        rec.counter("explore.points").add(points.len() as u64);
+        rec.counter("explore.cache.hits").add(stats.hits as u64);
+        rec.counter("explore.cache.misses").add(stats.misses as u64);
+    }
     let evaluated: Result<Vec<PointResult>, String> = results.into_iter().collect();
     Ok(SpaceReport {
         design: spec.design.label(),
         ff_count,
         trials: spec.trials,
-        cache: cache.stats(),
+        cache: stats,
         points: evaluated?,
     })
 }
@@ -250,6 +294,39 @@ mod tests {
         let wakes = spec.wakes.len();
         assert_eq!(report.cache.misses * wakes, report.points.len());
         assert_eq!(report.cache.hits, report.points.len() - report.cache.misses);
+    }
+
+    #[test]
+    fn observed_exploration_matches_and_records_cache_traffic() {
+        use scanguard_obs::{EventKind, RecorderConfig};
+        let spec = tiny_spec();
+        let rec = Recorder::new(RecorderConfig {
+            trace: true,
+            metrics: true,
+            ..RecorderConfig::default()
+        });
+        let observed = explore_obs(&spec, 4, Some(&rec)).unwrap();
+        let plain = explore(&spec, 4).unwrap();
+        assert_eq!(observed, plain, "observation must not change the report");
+        let snap = rec.metrics_snapshot();
+        assert_eq!(
+            snap.counters["explore.points"],
+            observed.points.len() as u64
+        );
+        assert_eq!(
+            snap.counters["explore.cache.hits"],
+            observed.cache.hits as u64
+        );
+        assert_eq!(
+            snap.counters["explore.cache.misses"],
+            observed.cache.misses as u64
+        );
+        let point_spans = rec
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Begin && e.name == "point")
+            .count();
+        assert_eq!(point_spans, observed.points.len(), "one span per point");
     }
 
     #[test]

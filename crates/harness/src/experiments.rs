@@ -143,12 +143,26 @@ pub fn table3_on(depth: usize, width: usize) -> Vec<Table3Row> {
 /// Panics if the testbench cannot be synthesized (a configuration bug).
 #[must_use]
 pub fn validation(depth: usize, width: usize, chains: usize, sequences: u64) -> ValidationRuns {
+    validation_obs(depth, width, chains, sequences, None)
+}
+
+/// [`validation`] with observability: the three runs' sleep/wake
+/// traversals share the recorder's controller lane and metric registry.
+/// The stats are unchanged by observation.
+#[must_use]
+pub fn validation_obs(
+    depth: usize,
+    width: usize,
+    chains: usize,
+    sequences: u64,
+    obs: Option<&std::sync::Arc<scanguard_obs::Recorder>>,
+) -> ValidationRuns {
     let hamming =
         FifoTestbench::new(depth, width, chains, CodeChoice::hamming7_4()).expect("hamming tb");
-    let single = hamming.run(sequences, InjectionMode::Single, 0x51);
-    let burst = hamming.run(sequences, InjectionMode::Burst { max_span: 4 }, 0xB5);
+    let single = hamming.run_obs(sequences, InjectionMode::Single, 0x51, obs);
+    let burst = hamming.run_obs(sequences, InjectionMode::Burst { max_span: 4 }, 0xB5, obs);
     let crc = FifoTestbench::new(depth, width, chains, CodeChoice::crc16()).expect("crc tb");
-    let crc_burst = crc.run(sequences, InjectionMode::Burst { max_span: 4 }, 0xC5);
+    let crc_burst = crc.run_obs(sequences, InjectionMode::Burst { max_span: 4 }, 0xC5, obs);
     ValidationRuns {
         hamming_single: single,
         hamming_burst: burst,

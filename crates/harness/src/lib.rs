@@ -41,8 +41,8 @@ mod testbench;
 
 pub use experiments::{
     ablation_recovery, ablation_rush, ablation_secded, cost_sweep, paper_fifo, table1, table2,
-    table3, table3_on, validation, RecoveryRow, RushRow, SecdedRow, Table3Row, ValidationRuns,
-    PAPER_W_SWEEP, TABLE3_W,
+    table3, table3_on, validation, validation_obs, RecoveryRow, RushRow, SecdedRow, Table3Row,
+    ValidationRuns, PAPER_W_SWEEP, TABLE3_W,
 };
 pub use monte::{fig10_curve, fig10_family, Fig10Config, Fig10Point};
 pub use tables::{print_table, render_table};

@@ -115,9 +115,27 @@ impl FifoTestbench {
     /// statistical tails.
     #[must_use]
     pub fn run(&self, sequences: u64, mode: InjectionMode, seed: u64) -> ValidationStats {
+        self.run_obs(sequences, mode, seed, None)
+    }
+
+    /// [`run`](Self::run) with observability: each sequence's sleep/wake
+    /// traversal lands on the recorder's controller lane (the Fig. 3(b)
+    /// phase timeline) and the simulator's settle metrics accumulate.
+    /// The stats are unchanged by observation.
+    #[must_use]
+    pub fn run_obs(
+        &self,
+        sequences: u64,
+        mode: InjectionMode,
+        seed: u64,
+        obs: Option<&std::sync::Arc<scanguard_obs::Recorder>>,
+    ) -> ValidationStats {
         let mut stats = ValidationStats::default();
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut rt = self.design.runtime();
+        if let Some(rec) = obs {
+            rt.attach_obs(rec.clone());
+        }
         // Scan-initialise every flop (including never-written storage
         // rows) so no X values flow through the monitor — on silicon
         // this is the standard post-power-on scan flush.

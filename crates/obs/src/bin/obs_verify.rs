@@ -1,0 +1,136 @@
+//! `obs-verify` — schema validator for emitted trace files.
+//!
+//! ```text
+//! obs-verify events.jsonl   # one scanguard-obs Event per line
+//! obs-verify trace.json     # Chrome trace-event JSON
+//! ```
+//!
+//! Exits non-zero (naming the offending line/event) when the file does
+//! not conform; CI runs it against the coverage smoke run's output.
+
+use scanguard_obs::Event;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: obs-verify <events.jsonl | trace.json>");
+        return ExitCode::FAILURE;
+    };
+    let doc = match std::fs::read_to_string(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if path.ends_with(".jsonl") {
+        verify_jsonl(&doc)
+    } else {
+        verify_chrome(&doc)
+    };
+    match result {
+        Ok(summary) => {
+            println!("{path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Every line must deserialize as an [`Event`], with unique `seq`.
+fn verify_jsonl(doc: &str) -> Result<String, String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut count = 0usize;
+    for (i, line) in doc.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: Event = serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if !seen.insert(ev.seq) {
+            return Err(format!("line {}: duplicate seq {}", i + 1, ev.seq));
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return Err("no events".to_owned());
+    }
+    Ok(format!("{count} events ok"))
+}
+
+/// The file must be valid Chrome trace JSON: a `traceEvents` array
+/// whose non-metadata entries carry `name`/`ph`/`ts`/`pid`/`tid`, with
+/// `ts` monotonically non-decreasing per `tid` lane and balanced B/E
+/// nesting per lane.
+fn verify_chrome(doc: &str) -> Result<String, String> {
+    let root: serde::Value = serde_json::from_str(doc).map_err(|e| e.to_string())?;
+    let serde::Value::Object(fields) = &root else {
+        return Err("root is not an object".to_owned());
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| match v {
+            serde::Value::Array(a) => Some(a),
+            _ => None,
+        })
+        .ok_or("missing traceEvents array")?;
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    let mut open: HashMap<u64, u64> = HashMap::new();
+    let mut lanes = std::collections::HashSet::new();
+    let mut count = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let serde::Value::Object(obj) = ev else {
+            return Err(format!("event {i}: not an object"));
+        };
+        let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let ph = field("ph")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let tid = field("tid")
+            .and_then(serde::Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        if field("name").and_then(serde::Value::as_str).is_none() {
+            return Err(format!("event {i}: missing name"));
+        }
+        if ph == "M" {
+            continue;
+        }
+        let ts = field("ts")
+            .and_then(serde::Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i}: ts {ts} < {prev} goes backwards on tid {tid}"
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+        lanes.insert(tid);
+        match ph {
+            "B" => *open.entry(tid).or_insert(0) += 1,
+            "E" => {
+                let depth = open.entry(tid).or_insert(0);
+                if *depth == 0 {
+                    return Err(format!("event {i}: E without B on tid {tid}"));
+                }
+                *depth -= 1;
+            }
+            "i" | "X" => {}
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+        count += 1;
+    }
+    if let Some((tid, depth)) = open.iter().find(|(_, &d)| d > 0) {
+        return Err(format!("{depth} unclosed span(s) on tid {tid}"));
+    }
+    if count == 0 {
+        return Err("no events".to_owned());
+    }
+    Ok(format!("{count} events on {} lanes ok", lanes.len()))
+}

@@ -1,0 +1,103 @@
+//! The structured event model shared by every sink.
+//!
+//! An [`Event`] is one point (or span edge) on a timeline lane. It
+//! carries two clocks: `cycle`, the *logical* timestamp (simulation
+//! clock cycles — deterministic, part of the event's identity), and
+//! `ts_ns`, the wall-clock nanoseconds since the recorder's epoch
+//! (measurement noise, carried only so the Chrome-trace sink can lay
+//! spans out proportionally).
+
+/// The timeline a trace event belongs to.
+///
+/// By convention each lane is written by exactly one thread — the
+/// controller/main lanes by the driving thread, each worker lane by its
+/// pool worker — which is what makes per-lane timestamps monotone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Lane {
+    /// The power-gating controller FSM phase timeline (also run-level
+    /// phases of a batch job: golden run, fault fan-out, merge).
+    Controller,
+    /// The driving thread's own work.
+    Main,
+    /// One worker of the deterministic pool, by worker index.
+    Worker(u32),
+}
+
+/// What kind of timeline mark an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum EventKind {
+    /// A span opens on its lane.
+    Begin,
+    /// The most recently opened span on the same lane closes.
+    End,
+    /// A zero-duration mark.
+    Instant,
+}
+
+/// One argument value attached to an event.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ArgValue {
+    /// An unsigned integer (counts, indices, cycle deltas).
+    U(u64),
+    /// A float (energy, percentages).
+    F(f64),
+    /// A string (names, outcomes).
+    S(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::S(v.to_owned())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::S(v)
+    }
+}
+
+/// Builds one `(key, value)` argument pair.
+pub fn arg(key: &str, value: impl Into<ArgValue>) -> (String, ArgValue) {
+    (key.to_owned(), value.into())
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Event {
+    /// Global emission sequence number (unique per recorder).
+    pub seq: u64,
+    /// Span or mark name.
+    pub name: String,
+    /// The timeline lane.
+    pub lane: Lane,
+    /// Span edge or instant mark.
+    pub kind: EventKind,
+    /// Wall-clock nanoseconds since the recorder's epoch. Measurement
+    /// noise — never part of a byte-identity comparison (the same
+    /// convention as `CoverageReport::wall_ms`).
+    pub ts_ns: u64,
+    /// Logical timestamp: the simulation cycle (or item index) the
+    /// event belongs to. Deterministic.
+    pub cycle: u64,
+    /// Free-form payload, in emission order.
+    pub args: Vec<(String, ArgValue)>,
+}

@@ -1,0 +1,260 @@
+//! The counters/histograms registry.
+//!
+//! Instrumented code resolves a [`CounterHandle`] or
+//! [`HistogramHandle`] once (at attach time) and then updates it with
+//! relaxed atomics — no locks, no allocation, nothing on the hot path
+//! but a null check and a `fetch_add`. A handle from a recorder with
+//! metrics disabled is empty and every update is a no-op.
+//!
+//! Determinism: counter and histogram updates are commutative sums, so
+//! a [`MetricsSnapshot`] is a pure function of the work done, not of
+//! the thread count — *except* for metrics registered as volatile
+//! (wall-clock, per-worker scheduling), which are reported separately
+//! and excluded from equality, exactly like `wall_ms` today.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log2 histogram buckets: bucket 0 holds zeros, bucket `b`
+/// (b >= 1) holds values in `[2^(b-1), 2^b)`.
+const BUCKETS: usize = 65;
+
+/// The shared cell behind a [`CounterHandle`].
+#[derive(Debug, Default)]
+pub(crate) struct CounterCell {
+    pub(crate) value: AtomicU64,
+    /// Volatile counters (wall-clock, per-worker scheduling) are
+    /// reported apart from the deterministic ones.
+    pub(crate) volatile: bool,
+}
+
+/// A resolved counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle(pub(crate) Option<Arc<CounterCell>>);
+
+impl CounterHandle {
+    /// A permanently disabled handle (every update is a no-op).
+    #[must_use]
+    pub const fn disabled() -> Self {
+        CounterHandle(None)
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+/// The shared cell behind a [`HistogramHandle`].
+#[derive(Debug)]
+pub(crate) struct HistoCell {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistoCell {
+    pub(crate) fn new() -> Self {
+        HistoCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the log2 bucket holding `v`.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `b`.
+fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// A resolved histogram. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(pub(crate) Option<Arc<HistoCell>>);
+
+impl HistogramHandle {
+    /// A permanently disabled handle (every update is a no-op).
+    #[must_use]
+    pub const fn disabled() -> Self {
+        HistogramHandle(None)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(v, Ordering::Relaxed);
+            cell.min.fetch_min(v, Ordering::Relaxed);
+            cell.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty log2 buckets as `(inclusive lower bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistoCell {
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(b, c)| {
+                    let c = c.load(Ordering::Relaxed);
+                    (c > 0).then_some((bucket_lo(b), c))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of the whole registry.
+///
+/// `counters` and `histograms` are deterministic — byte-identical
+/// across thread counts for the same work. `volatile` holds wall-clock
+/// and per-worker scheduling numbers; it is excluded from `==` (the
+/// `wall_ms` convention) and from
+/// [`deterministic_json`](Self::deterministic_json).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// Deterministic counters, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Deterministic histograms, sorted by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Nondeterministic observations (idle nanoseconds, per-worker task
+    /// counts). Reported, never compared.
+    pub volatile: BTreeMap<String, u64>,
+}
+
+impl PartialEq for MetricsSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        // `volatile` is scheduling/wall-clock noise, not part of the
+        // snapshot's identity.
+        self.counters == other.counters && self.histograms == other.histograms
+    }
+}
+
+impl MetricsSnapshot {
+    /// Pretty JSON of the full snapshot (volatile section included).
+    ///
+    /// # Errors
+    ///
+    /// Returns the encoder's message on failure (cannot happen for this
+    /// tree shape).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Pretty JSON of the deterministic sections only — byte-identical
+    /// across thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the encoder's message on failure (cannot happen for this
+    /// tree shape).
+    pub fn deterministic_json(&self) -> Result<String, String> {
+        let doc = serde::Value::Object(vec![
+            (
+                "counters".to_owned(),
+                serde::Serialize::to_value(&self.counters),
+            ),
+            (
+                "histograms".to_owned(),
+                serde::Serialize::to_value(&self.histograms),
+            ),
+        ]);
+        serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_lo(1), 1);
+        assert_eq!(bucket_lo(2), 2);
+        assert_eq!(bucket_lo(3), 4);
+    }
+
+    #[test]
+    fn disabled_handles_are_no_ops() {
+        let c = CounterHandle::disabled();
+        c.add(5);
+        c.inc();
+        let h = HistogramHandle::disabled();
+        h.record(42);
+        // Nothing to observe — the point is that none of this panics or
+        // allocates.
+    }
+
+    #[test]
+    fn histogram_snapshot_summarizes() {
+        let cell = Arc::new(HistoCell::new());
+        let h = HistogramHandle(Some(cell.clone()));
+        for v in [0, 1, 1, 3, 16] {
+            h.record(v);
+        }
+        let s = cell.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 21);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 16);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 2), (2, 1), (16, 1)]);
+    }
+}

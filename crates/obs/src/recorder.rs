@@ -1,0 +1,480 @@
+//! The [`Recorder`]: one instance per run, explicitly threaded to the
+//! layers it observes.
+//!
+//! There is deliberately no global/static recorder — tests run in
+//! parallel, and a process-wide registry would bleed one run's metrics
+//! into another's. The CLI owns an `Arc<Recorder>` and hands references
+//! down; library code takes `Option<&Recorder>` (or an attach method)
+//! and does nothing when given none.
+
+use crate::event::{ArgValue, Event, EventKind, Lane};
+use crate::metrics::{CounterCell, CounterHandle, HistoCell, HistogramHandle, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Log-sink verbosity threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing, not even errors.
+    Off,
+    /// Unrecoverable problems.
+    Error,
+    /// Suspicious conditions.
+    Warn,
+    /// Progress lines (the default).
+    Info,
+    /// Per-stage detail.
+    Debug,
+    /// Everything.
+    Trace,
+}
+
+impl Level {
+    /// The lowercase name (`"info"`, ...).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(Level::Off),
+            "error" => Ok(Level::Error),
+            "warn" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level {other:?} (off | error | warn | info | debug | trace)"
+            )),
+        }
+    }
+}
+
+/// What a [`Recorder`] should collect.
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Log-sink threshold (messages above it are dropped).
+    pub level: Level,
+    /// Collect trace events (spans/instants) for the JSONL and
+    /// Chrome-trace sinks.
+    pub trace: bool,
+    /// Collect counters/histograms.
+    pub metrics: bool,
+    /// Buffer log lines instead of writing them to stderr (tests).
+    pub capture_logs: bool,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            level: Level::Info,
+            trace: false,
+            metrics: false,
+            capture_logs: false,
+        }
+    }
+}
+
+/// A structured event/metrics recorder.
+///
+/// Zero-cost when disabled: code that was not handed a recorder pays
+/// nothing; code holding one pays a branch per log/event call when the
+/// corresponding collection is off, and disabled metric handles are
+/// no-op null checks (see the counting-allocator test in
+/// `scanguard-sim`).
+pub struct Recorder {
+    level: Level,
+    trace_on: bool,
+    metrics_on: bool,
+    epoch: Instant,
+    seq: AtomicU64,
+    events: Mutex<Vec<Event>>,
+    counters: Mutex<BTreeMap<String, Arc<CounterCell>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistoCell>>>,
+    captured: Option<Mutex<Vec<String>>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("level", &self.level)
+            .field("trace_on", &self.trace_on)
+            .field("metrics_on", &self.metrics_on)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new(RecorderConfig::default())
+    }
+}
+
+impl Recorder {
+    /// Builds a recorder.
+    #[must_use]
+    pub fn new(cfg: RecorderConfig) -> Self {
+        Recorder {
+            level: cfg.level,
+            trace_on: cfg.trace,
+            metrics_on: cfg.metrics,
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            captured: cfg.capture_logs.then(|| Mutex::new(Vec::new())),
+        }
+    }
+
+    /// A recorder that collects nothing and logs nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Recorder::new(RecorderConfig {
+            level: Level::Off,
+            trace: false,
+            metrics: false,
+            capture_logs: false,
+        })
+    }
+
+    /// The log-sink threshold.
+    #[must_use]
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Whether trace events are being collected.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_on
+    }
+
+    /// Whether counters/histograms are being collected.
+    #[must_use]
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics_on
+    }
+
+    // -------------------------------------------------------------- log
+
+    /// Emits one log line if `level` passes the threshold. `Info` lines
+    /// print bare (they are user-facing progress); other levels are
+    /// prefixed with their name.
+    pub fn log(&self, level: Level, msg: &str) {
+        if level == Level::Off || level > self.level {
+            return;
+        }
+        let line = if level == Level::Info {
+            msg.to_owned()
+        } else {
+            format!("{}: {msg}", level.name())
+        };
+        match &self.captured {
+            Some(buf) => buf.lock().expect("log buffer").push(line),
+            None => eprintln!("{line}"),
+        }
+    }
+
+    /// [`log`](Self::log) at `Warn`.
+    pub fn warn(&self, msg: &str) {
+        self.log(Level::Warn, msg);
+    }
+
+    /// [`log`](Self::log) at `Info`.
+    pub fn info(&self, msg: &str) {
+        self.log(Level::Info, msg);
+    }
+
+    /// [`log`](Self::log) at `Debug`.
+    pub fn debug(&self, msg: &str) {
+        self.log(Level::Debug, msg);
+    }
+
+    /// The buffered log lines (empty unless built with
+    /// [`capture_logs`](RecorderConfig::capture_logs)).
+    #[must_use]
+    pub fn captured_logs(&self) -> Vec<String> {
+        self.captured
+            .as_ref()
+            .map(|b| b.lock().expect("log buffer").clone())
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------ events
+
+    fn push(
+        &self,
+        kind: EventKind,
+        lane: Lane,
+        name: &str,
+        cycle: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        if !self.trace_on {
+            return;
+        }
+        let ev = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            name: name.to_owned(),
+            lane,
+            kind,
+            ts_ns: u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            cycle,
+            args,
+        };
+        self.events.lock().expect("event buffer").push(ev);
+    }
+
+    /// Opens a span on `lane`.
+    pub fn begin(&self, lane: Lane, name: &str, cycle: u64) {
+        self.push(EventKind::Begin, lane, name, cycle, Vec::new());
+    }
+
+    /// Closes the innermost open span on `lane`; `args` describe the
+    /// completed span.
+    pub fn end(&self, lane: Lane, name: &str, cycle: u64, args: Vec<(String, ArgValue)>) {
+        self.push(EventKind::End, lane, name, cycle, args);
+    }
+
+    /// Emits a zero-duration mark on `lane`.
+    pub fn instant(&self, lane: Lane, name: &str, cycle: u64, args: Vec<(String, ArgValue)>) {
+        self.push(EventKind::Instant, lane, name, cycle, args);
+    }
+
+    /// A copy of every event recorded so far, in emission order.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("event buffer").clone()
+    }
+
+    // ----------------------------------------------------------- metrics
+
+    /// Resolves (registering on first use) a deterministic counter.
+    /// Returns a disabled handle when metrics are off.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        self.register_counter(name, false)
+    }
+
+    /// Resolves a volatile counter — wall-clock or scheduling-dependent
+    /// observations, excluded from snapshot equality.
+    #[must_use]
+    pub fn counter_volatile(&self, name: &str) -> CounterHandle {
+        self.register_counter(name, true)
+    }
+
+    fn register_counter(&self, name: &str, volatile: bool) -> CounterHandle {
+        if !self.metrics_on {
+            return CounterHandle::disabled();
+        }
+        let mut map = self.counters.lock().expect("counter registry");
+        let cell = map
+            .entry(name.to_owned())
+            .or_insert_with(|| {
+                Arc::new(CounterCell {
+                    value: AtomicU64::new(0),
+                    volatile,
+                })
+            })
+            .clone();
+        CounterHandle(Some(cell))
+    }
+
+    /// Resolves (registering on first use) a deterministic histogram.
+    /// Returns a disabled handle when metrics are off.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        if !self.metrics_on {
+            return HistogramHandle::disabled();
+        }
+        let mut map = self.histograms.lock().expect("histogram registry");
+        let cell = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(HistoCell::new()))
+            .clone();
+        HistogramHandle(Some(cell))
+    }
+
+    /// A point-in-time snapshot of every registered metric.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut counters = BTreeMap::new();
+        let mut volatile = BTreeMap::new();
+        for (name, cell) in self.counters.lock().expect("counter registry").iter() {
+            let v = cell.value.load(Ordering::Relaxed);
+            if cell.volatile {
+                volatile.insert(name.clone(), v);
+            } else {
+                counters.insert(name.clone(), v);
+            }
+        }
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram registry")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+            volatile,
+        }
+    }
+}
+
+/// Tracks an FSM's phase timeline on one lane: each
+/// [`transition`](Self::transition) closes the previous phase's span
+/// (annotated with its cycle count) and opens the next.
+#[derive(Debug)]
+pub struct PhaseLog {
+    lane: Lane,
+    current: Option<String>,
+    entered_cycle: u64,
+}
+
+impl PhaseLog {
+    /// A phase log for `lane` with no phase open.
+    #[must_use]
+    pub fn new(lane: Lane) -> Self {
+        PhaseLog {
+            lane,
+            current: None,
+            entered_cycle: 0,
+        }
+    }
+
+    /// Records that the FSM is in `phase` at `cycle`. A no-op while the
+    /// phase is unchanged; on a change, the ending span gets a
+    /// `cycles` argument (time spent in it) plus `args`.
+    pub fn transition(
+        &mut self,
+        rec: &Recorder,
+        phase: &str,
+        cycle: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        if self.current.as_deref() == Some(phase) {
+            return;
+        }
+        self.close(rec, cycle, args);
+        rec.begin(self.lane, phase, cycle);
+        self.current = Some(phase.to_owned());
+        self.entered_cycle = cycle;
+    }
+
+    /// Closes the open phase span (if any) without opening another.
+    pub fn finish(&mut self, rec: &Recorder, cycle: u64, args: Vec<(String, ArgValue)>) {
+        self.close(rec, cycle, args);
+    }
+
+    fn close(&mut self, rec: &Recorder, cycle: u64, mut args: Vec<(String, ArgValue)>) {
+        if let Some(name) = self.current.take() {
+            args.push(crate::event::arg(
+                "cycles",
+                cycle.saturating_sub(self.entered_cycle),
+            ));
+            rec.end(self.lane, &name, cycle, args);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_collects_nothing() {
+        let rec = Recorder::disabled();
+        rec.begin(Lane::Main, "x", 0);
+        rec.end(Lane::Main, "x", 1, Vec::new());
+        rec.counter("c").add(3);
+        rec.histogram("h").record(7);
+        assert!(rec.events().is_empty());
+        let snap = rec.metrics_snapshot();
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn metrics_snapshot_separates_volatile() {
+        let rec = Recorder::new(RecorderConfig {
+            metrics: true,
+            ..RecorderConfig::default()
+        });
+        rec.counter("work.items").add(10);
+        rec.counter_volatile("work.idle_ns").add(12345);
+        let a = rec.metrics_snapshot();
+        assert_eq!(a.counters.get("work.items"), Some(&10));
+        assert_eq!(a.volatile.get("work.idle_ns"), Some(&12345));
+        // Equality ignores the volatile section.
+        rec.counter_volatile("work.idle_ns").add(999);
+        let b = rec.metrics_snapshot();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.deterministic_json().unwrap(),
+            b.deterministic_json().unwrap()
+        );
+    }
+
+    #[test]
+    fn log_respects_threshold_and_quietness() {
+        let rec = Recorder::new(RecorderConfig {
+            level: Level::Warn,
+            capture_logs: true,
+            ..RecorderConfig::default()
+        });
+        rec.info("progress line");
+        rec.warn("something odd");
+        rec.debug("detail");
+        assert_eq!(rec.captured_logs(), vec!["warn: something odd".to_owned()]);
+    }
+
+    #[test]
+    fn level_parses_and_orders() {
+        assert!("info".parse::<Level>().unwrap() < "trace".parse::<Level>().unwrap());
+        assert!("bogus".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn phase_log_closes_spans_with_cycle_deltas() {
+        let rec = Recorder::new(RecorderConfig {
+            trace: true,
+            ..RecorderConfig::default()
+        });
+        let mut pl = PhaseLog::new(Lane::Controller);
+        pl.transition(&rec, "Save", 0, Vec::new());
+        pl.transition(&rec, "Save", 1, Vec::new()); // unchanged: no-op
+        pl.transition(&rec, "Sleep", 2, Vec::new());
+        pl.finish(&rec, 6, Vec::new());
+        let evs = rec.events();
+        let shape: Vec<(crate::event::EventKind, &str)> =
+            evs.iter().map(|e| (e.kind, e.name.as_str())).collect();
+        use crate::event::EventKind::{Begin, End};
+        assert_eq!(
+            shape,
+            vec![
+                (Begin, "Save"),
+                (End, "Save"),
+                (Begin, "Sleep"),
+                (End, "Sleep")
+            ]
+        );
+        assert_eq!(evs[1].args, vec![("cycles".to_owned(), ArgValue::U(2))]);
+        assert_eq!(evs[3].args, vec![("cycles".to_owned(), ArgValue::U(4))]);
+    }
+}

@@ -1,0 +1,156 @@
+//! The trace sinks: JSON-lines event stream and Chrome trace-event
+//! format (load the latter in `chrome://tracing` or
+//! <https://ui.perfetto.dev>).
+
+use crate::event::{ArgValue, Event, EventKind, Lane};
+use serde::{Number, Value};
+
+/// One JSON object per line, in emission order — the raw structured
+/// stream (each line round-trips through [`Event`]'s serde impls).
+///
+/// # Errors
+///
+/// Returns the encoder's message on failure (cannot happen for this
+/// tree shape).
+pub fn to_jsonl(events: &[Event]) -> Result<String, String> {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&serde_json::to_string(ev).map_err(|e| e.to_string())?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Stable numeric thread id of a lane (Chrome traces key lanes by
+/// `tid`).
+#[must_use]
+pub fn lane_tid(lane: Lane) -> u64 {
+    match lane {
+        Lane::Controller => 0,
+        Lane::Main => 1,
+        Lane::Worker(w) => 10 + u64::from(w),
+    }
+}
+
+/// Human-readable lane name shown in the trace viewer.
+#[must_use]
+pub fn lane_name(lane: Lane) -> String {
+    match lane {
+        Lane::Controller => "controller".to_owned(),
+        Lane::Main => "main".to_owned(),
+        Lane::Worker(w) => format!("worker-{w}"),
+    }
+}
+
+fn arg_value(v: &ArgValue) -> Value {
+    match v {
+        ArgValue::U(u) => Value::Num(Number::U(*u)),
+        ArgValue::F(f) => Value::Num(Number::F(*f)),
+        ArgValue::S(s) => Value::Str(s.clone()),
+    }
+}
+
+fn metadata(name: &str, tid: u64, value: &str) -> Value {
+    Value::Object(vec![
+        ("name".to_owned(), Value::Str(name.to_owned())),
+        ("ph".to_owned(), Value::Str("M".to_owned())),
+        ("pid".to_owned(), Value::Num(Number::U(1))),
+        ("tid".to_owned(), Value::Num(Number::U(tid))),
+        (
+            "args".to_owned(),
+            Value::Object(vec![("name".to_owned(), Value::Str(value.to_owned()))]),
+        ),
+    ])
+}
+
+/// Chrome trace-event JSON: one lane per worker thread plus the
+/// controller phase-timeline lane, with `ts` in microseconds.
+///
+/// Events are stably sorted by wall-clock timestamp; each lane is
+/// written by a single thread, so its own order (and therefore the B/E
+/// nesting per lane) is preserved and per-lane `ts` is monotone.
+///
+/// # Errors
+///
+/// Returns the encoder's message on failure (cannot happen for this
+/// tree shape).
+pub fn to_chrome_trace(events: &[Event]) -> Result<String, String> {
+    let mut entries: Vec<Value> = Vec::with_capacity(events.len() + 8);
+    entries.push(Value::Object(vec![
+        ("name".to_owned(), Value::Str("process_name".to_owned())),
+        ("ph".to_owned(), Value::Str("M".to_owned())),
+        ("pid".to_owned(), Value::Num(Number::U(1))),
+        ("tid".to_owned(), Value::Num(Number::U(0))),
+        (
+            "args".to_owned(),
+            Value::Object(vec![(
+                "name".to_owned(),
+                Value::Str("scanguard".to_owned()),
+            )]),
+        ),
+    ]));
+
+    let mut lanes: Vec<Lane> = events.iter().map(|e| e.lane).collect();
+    lanes.sort_by_key(|&l| lane_tid(l));
+    lanes.dedup();
+    for lane in lanes {
+        entries.push(metadata("thread_name", lane_tid(lane), &lane_name(lane)));
+    }
+
+    let mut ordered: Vec<&Event> = events.iter().collect();
+    ordered.sort_by_key(|e| e.ts_ns);
+    for ev in ordered {
+        let ph = match ev.kind {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+        };
+        let mut args = vec![
+            ("cycle".to_owned(), Value::Num(Number::U(ev.cycle))),
+            ("seq".to_owned(), Value::Num(Number::U(ev.seq))),
+        ];
+        args.extend(ev.args.iter().map(|(k, v)| (k.clone(), arg_value(v))));
+        let mut obj = vec![
+            ("name".to_owned(), Value::Str(ev.name.clone())),
+            ("cat".to_owned(), Value::Str("scanguard".to_owned())),
+            ("ph".to_owned(), Value::Str(ph.to_owned())),
+            (
+                "ts".to_owned(),
+                Value::Num(Number::F(ev.ts_ns as f64 / 1000.0)),
+            ),
+            ("pid".to_owned(), Value::Num(Number::U(1))),
+            ("tid".to_owned(), Value::Num(Number::U(lane_tid(ev.lane)))),
+        ];
+        if ev.kind == EventKind::Instant {
+            obj.push(("s".to_owned(), Value::Str("t".to_owned())));
+        }
+        obj.push(("args".to_owned(), Value::Object(args)));
+        entries.push(Value::Object(obj));
+    }
+
+    let doc = Value::Object(vec![
+        ("traceEvents".to_owned(), Value::Array(entries)),
+        ("displayTimeUnit".to_owned(), Value::Str("ms".to_owned())),
+    ]);
+    serde_json::to_string(&doc).map_err(|e| e.to_string())
+}
+
+impl crate::Recorder {
+    /// The JSONL sink over everything recorded so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns the encoder's message on failure.
+    pub fn to_jsonl(&self) -> Result<String, String> {
+        to_jsonl(&self.events())
+    }
+
+    /// The Chrome-trace sink over everything recorded so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns the encoder's message on failure.
+    pub fn to_chrome_trace(&self) -> Result<String, String> {
+        to_chrome_trace(&self.events())
+    }
+}

@@ -1,0 +1,151 @@
+//! Sink conformance: JSONL round-trips through serde, the Chrome trace
+//! is valid JSON with monotone per-lane timestamps, and a multi-thread
+//! recording still yields well-formed lanes.
+
+use scanguard_obs::{
+    arg, to_chrome_trace, to_jsonl, Event, EventKind, Lane, Recorder, RecorderConfig,
+};
+
+fn tracing() -> Recorder {
+    Recorder::new(RecorderConfig {
+        trace: true,
+        metrics: true,
+        ..RecorderConfig::default()
+    })
+}
+
+/// A recording with all three lane kinds, nested spans, instants and
+/// every argument type.
+fn sample() -> Recorder {
+    let rec = tracing();
+    rec.begin(Lane::Controller, "golden", 0);
+    rec.instant(Lane::Controller, "merge", 3, vec![arg("faults", 7u64)]);
+    rec.end(
+        Lane::Controller,
+        "golden",
+        40,
+        vec![arg("energy_pj", 1.25), arg("outcome", "ok")],
+    );
+    rec.begin(Lane::Main, "outer", 0);
+    rec.begin(Lane::Main, "inner", 1);
+    rec.end(Lane::Main, "inner", 2, Vec::new());
+    rec.end(Lane::Main, "outer", 3, Vec::new());
+    for w in 0..3u32 {
+        rec.begin(Lane::Worker(w), "worker", 0);
+        rec.end(Lane::Worker(w), "worker", 9, vec![arg("tasks", 4u64)]);
+    }
+    rec
+}
+
+#[test]
+fn jsonl_round_trips_through_serde_json() {
+    let rec = sample();
+    let original = rec.events();
+    let doc = rec.to_jsonl().unwrap();
+    let parsed: Vec<Event> = doc
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(parsed, original);
+    // And each line re-encodes to the same bytes (stable rendering).
+    for (line, ev) in doc.lines().zip(&parsed) {
+        assert_eq!(line, serde_json::to_string(ev).unwrap());
+    }
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_monotone_ts_per_lane() {
+    let doc = sample().to_chrome_trace().unwrap();
+    let root: serde::Value = serde_json::from_str(&doc).unwrap();
+    let serde::Value::Object(fields) = &root else {
+        panic!("chrome trace root must be an object");
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| match v {
+            serde::Value::Array(a) => Some(a),
+            _ => None,
+        })
+        .expect("traceEvents array");
+    let mut last_ts = std::collections::HashMap::new();
+    let mut named_lanes = 0;
+    for ev in events {
+        let serde::Value::Object(obj) = ev else {
+            panic!("trace event must be an object")
+        };
+        let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let ph = field("ph").and_then(serde::Value::as_str).unwrap();
+        let tid = field("tid").and_then(serde::Value::as_u64).unwrap();
+        if ph == "M" {
+            named_lanes += 1;
+            continue;
+        }
+        let ts = field("ts").and_then(serde::Value::as_f64).unwrap();
+        if let Some(&prev) = last_ts.get(&tid) {
+            assert!(ts >= prev, "ts went backwards on tid {tid}: {ts} < {prev}");
+        }
+        last_ts.insert(tid, ts);
+    }
+    // process_name + controller + main + 3 workers.
+    assert_eq!(named_lanes, 6);
+    assert_eq!(last_ts.len(), 5, "controller, main and 3 worker lanes");
+}
+
+#[test]
+fn lanes_written_from_many_threads_stay_monotone() {
+    let rec = tracing();
+    std::thread::scope(|s| {
+        for w in 0..8u32 {
+            let rec = &rec;
+            s.spawn(move || {
+                rec.begin(Lane::Worker(w), "worker", 0);
+                for i in 0..50u64 {
+                    rec.instant(Lane::Worker(w), "tick", i, Vec::new());
+                }
+                rec.end(Lane::Worker(w), "worker", 50, Vec::new());
+            });
+        }
+    });
+    let events = rec.events();
+    assert_eq!(events.len(), 8 * 52);
+    // Per-lane ts monotone in buffer order (each lane has one writer).
+    let mut last = std::collections::HashMap::new();
+    for ev in &events {
+        if let Some(&prev) = last.get(&ev.lane) {
+            assert!(ev.ts_ns >= prev);
+        }
+        last.insert(ev.lane, ev.ts_ns);
+    }
+    // The chrome sink's stable sort must preserve that.
+    let doc = to_chrome_trace(&events).unwrap();
+    assert!(serde_json::from_str::<serde::Value>(&doc).is_ok());
+}
+
+#[test]
+fn disabled_trace_yields_empty_sinks() {
+    let rec = Recorder::disabled();
+    rec.begin(Lane::Main, "x", 0);
+    rec.end(Lane::Main, "x", 1, Vec::new());
+    assert_eq!(rec.to_jsonl().unwrap(), "");
+    let doc = rec.to_chrome_trace().unwrap();
+    assert!(doc.contains("traceEvents"));
+    assert!(!doc.contains("\"ph\":\"B\""));
+}
+
+#[test]
+fn event_kinds_and_args_survive_the_jsonl_sink() {
+    let rec = tracing();
+    rec.instant(
+        Lane::Worker(2),
+        "fault",
+        17,
+        vec![arg("cell", 5u64), arg("pct", 0.5), arg("stuck", "one")],
+    );
+    let doc = to_jsonl(&rec.events()).unwrap();
+    let ev: Event = serde_json::from_str(doc.trim()).unwrap();
+    assert_eq!(ev.kind, EventKind::Instant);
+    assert_eq!(ev.lane, Lane::Worker(2));
+    assert_eq!(ev.cycle, 17);
+    assert_eq!(ev.args.len(), 3);
+}

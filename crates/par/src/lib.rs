@@ -24,8 +24,10 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+use scanguard_obs::{arg, Lane, Recorder};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Evaluates `eval(i)` for every `i < n` on `threads` workers and
 /// returns the results in index order.
@@ -42,20 +44,81 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_pool_obs(n, threads, None, |_, i| eval(i))
+}
+
+/// [`run_pool`] with observability: `eval` additionally receives the
+/// worker index (so callers can emit onto the right [`Lane::Worker`]),
+/// and — when a [`Recorder`] is supplied — each worker's whole loop
+/// becomes a span on its lane, with per-pool/per-worker metrics:
+///
+/// * `par.tasks` (deterministic): total tasks executed, `== n`;
+/// * `par.workers` (volatile): distinct worker lanes spawned — a
+///   function of the requested thread count, so it must not enter
+///   snapshot equality;
+/// * `par.worker.NN.tasks` / `par.worker.NN.busy_ns` /
+///   `par.worker.NN.idle_ns` (volatile): which worker claimed how much
+///   work and how long it sat in pool overhead — scheduling noise,
+///   excluded from snapshot equality.
+///
+/// The result (and its byte identity) is unchanged by the recorder:
+/// only wall-clock observation is added, never scheduling.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_pool_obs<T, F>(n: usize, threads: usize, obs: Option<&Recorder>, eval: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
     let threads = threads.max(1).min(n.max(1));
+    if let Some(rec) = obs {
+        rec.counter_volatile("par.workers").add(threads as u64);
+    }
     let cursor = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                let eval = &eval;
+                let cursor = &cursor;
+                let collected = &collected;
+                s.spawn(move || {
+                    let started = obs.map(|rec| {
+                        rec.begin(Lane::Worker(w as u32), "worker", 0);
+                        Instant::now()
+                    });
                     let mut local = Vec::new();
+                    let mut busy_ns = 0u64;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, eval(i)));
+                        let t0 = started.map(|_| Instant::now());
+                        local.push((i, eval(w, i)));
+                        if let Some(t0) = t0 {
+                            busy_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        }
+                    }
+                    if let (Some(rec), Some(started)) = (obs, started) {
+                        let executed = local.len() as u64;
+                        let total_ns =
+                            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        rec.end(
+                            Lane::Worker(w as u32),
+                            "worker",
+                            executed,
+                            vec![arg("tasks", executed)],
+                        );
+                        rec.counter("par.tasks").add(executed);
+                        rec.counter_volatile(&format!("par.worker.{w:02}.tasks"))
+                            .add(executed);
+                        rec.counter_volatile(&format!("par.worker.{w:02}.busy_ns"))
+                            .add(busy_ns);
+                        rec.counter_volatile(&format!("par.worker.{w:02}.idle_ns"))
+                            .add(total_ns.saturating_sub(busy_ns));
                     }
                     collected.lock().expect("result lock").extend(local);
                 })
@@ -99,5 +162,42 @@ mod tests {
     #[test]
     fn zero_threads_is_clamped_to_one() {
         assert_eq!(run_pool(5, 0, |i| i + 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn observed_pool_emits_one_lane_per_worker_and_counts_tasks() {
+        let rec = Recorder::new(scanguard_obs::RecorderConfig {
+            trace: true,
+            metrics: true,
+            ..scanguard_obs::RecorderConfig::default()
+        });
+        let out = run_pool_obs(40, 4, Some(&rec), |_, i| i);
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+        let lanes: std::collections::HashSet<Lane> = rec.events().iter().map(|e| e.lane).collect();
+        assert_eq!(lanes.len(), 4, "one span lane per worker: {lanes:?}");
+        let snap = rec.metrics_snapshot();
+        assert_eq!(snap.counters["par.tasks"], 40);
+        assert_eq!(snap.volatile["par.workers"], 4);
+        let claimed: u64 = snap
+            .volatile
+            .iter()
+            .filter(|(k, _)| k.ends_with(".tasks"))
+            .map(|(_, &v)| v)
+            .sum();
+        assert_eq!(claimed, 40, "volatile per-worker claims sum to n");
+    }
+
+    #[test]
+    fn recorder_does_not_change_pool_results() {
+        let rec = Recorder::new(scanguard_obs::RecorderConfig {
+            trace: true,
+            metrics: true,
+            ..scanguard_obs::RecorderConfig::default()
+        });
+        let f = |i: usize| i.wrapping_mul(0x9E37_79B9) ^ (i << 3);
+        assert_eq!(
+            run_pool_obs(64, 8, Some(&rec), |_, i| f(i)),
+            run_pool(64, 8, f)
+        );
     }
 }

@@ -25,6 +25,21 @@ pub enum PgPhase {
     Restore,
 }
 
+impl PgPhase {
+    /// The phase name as it appears on the observability timeline.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PgPhase::Active => "Active",
+            PgPhase::Save => "Save",
+            PgPhase::PowerDown => "PowerDown",
+            PgPhase::Sleep => "Sleep",
+            PgPhase::PowerUp => "PowerUp",
+            PgPhase::Restore => "Restore",
+        }
+    }
+}
+
 /// Per-cycle control outputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct PgOutputs {
@@ -137,6 +152,23 @@ impl ConventionalController {
         self.outputs()
     }
 
+    /// [`tick`](Self::tick) with a phase timeline: transitions are
+    /// recorded as spans on `log`'s lane (cycle counts attached on
+    /// close), so a testbench driving this FSM gets the Fig. 3(a)
+    /// sleep/wake sequence as one trace lane for free. `cycle` is the
+    /// caller's logical clock.
+    pub fn tick_obs(
+        &mut self,
+        sleep: bool,
+        rec: &scanguard_obs::Recorder,
+        log: &mut scanguard_obs::PhaseLog,
+        cycle: u64,
+    ) -> PgOutputs {
+        let out = self.tick(sleep);
+        log.transition(rec, self.phase.name(), cycle, Vec::new());
+        out
+    }
+
     /// Control levels of the current phase.
     #[must_use]
     pub fn outputs(&self) -> PgOutputs {
@@ -239,6 +271,38 @@ mod tests {
             assert!(settle < 20);
         }
         assert_eq!(settle, 5);
+    }
+
+    #[test]
+    fn tick_obs_records_the_phase_timeline() {
+        use scanguard_obs::{EventKind, Lane, PhaseLog, Recorder, RecorderConfig};
+        let rec = Recorder::new(RecorderConfig {
+            trace: true,
+            ..RecorderConfig::default()
+        });
+        let mut log = PhaseLog::new(Lane::Controller);
+        let mut pg = ConventionalController::new(ControllerTiming::default());
+        let mut cycle = 0u64;
+        for _ in 0..8 {
+            pg.tick_obs(true, &rec, &mut log, cycle);
+            cycle += 1;
+        }
+        while pg.phase() != PgPhase::Active {
+            pg.tick_obs(false, &rec, &mut log, cycle);
+            cycle += 1;
+        }
+        log.finish(&rec, cycle, Vec::new());
+        let opened: Vec<String> = rec
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Begin)
+            .map(|e| e.name.clone())
+            .collect();
+        assert_eq!(
+            opened,
+            vec!["Save", "PowerDown", "Sleep", "PowerUp", "Restore", "Active"],
+            "the Fig. 3(a) sequence, one span per phase"
+        );
     }
 
     #[test]

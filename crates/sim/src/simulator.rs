@@ -83,6 +83,25 @@ pub struct Simulator<'a> {
     dynamic_pj: f64,
     cycles: u64,
     toggles: u64,
+    /// Pre-resolved metric handles (see
+    /// [`attach_obs`](Simulator::attach_obs)); `None` costs one branch
+    /// per settle and nothing per cell.
+    obs: Option<SimObs>,
+}
+
+/// Incremental-settle statistics, resolved once at attach time so the
+/// settle loop never touches the recorder's registry (lock-free,
+/// allocation-free relaxed atomics on the hot path).
+#[derive(Debug)]
+struct SimObs {
+    /// Settles served by the event-driven sparse walk.
+    settle_sparse: scanguard_obs::CounterHandle,
+    /// Settles served by the linear full scan.
+    settle_full: scanguard_obs::CounterHandle,
+    /// Combinational cells evaluated across all settles.
+    cell_evals: scanguard_obs::CounterHandle,
+    /// Dirty-net frontier size at the start of each settle.
+    frontier: scanguard_obs::HistogramHandle,
 }
 
 impl<'a> Simulator<'a> {
@@ -134,7 +153,25 @@ impl<'a> Simulator<'a> {
             dynamic_pj: 0.0,
             cycles: 0,
             toggles: 0,
+            obs: None,
         }
+    }
+
+    /// Starts recording incremental-settle statistics into `rec`'s
+    /// metrics registry: `sim.settle.sparse` / `sim.settle.full`
+    /// (settles per strategy), `sim.cell_evals` (combinational
+    /// evaluations) and the `sim.settle.frontier` histogram (dirty-net
+    /// frontier size per settle). Handles are resolved here, once — the
+    /// per-settle cost is a handful of relaxed atomic adds, with no
+    /// allocation (asserted by the `zero_alloc` integration test), and
+    /// simulation semantics are untouched.
+    pub fn attach_obs(&mut self, rec: &scanguard_obs::Recorder) {
+        self.obs = Some(SimObs {
+            settle_sparse: rec.counter("sim.settle.sparse"),
+            settle_full: rec.counter("sim.settle.full"),
+            cell_evals: rec.counter("sim.cell_evals"),
+            frontier: rec.histogram("sim.settle.frontier"),
+        });
     }
 
     // ------------------------------------------------------------------
@@ -420,8 +457,16 @@ impl<'a> Simulator<'a> {
         // order they are evaluated in — are identical.
         const SPARSE_LIMIT: usize = 32;
         if self.all_dirty || self.dirty_list.len() >= SPARSE_LIMIT {
+            if let Some(o) = &self.obs {
+                o.settle_full.inc();
+                o.frontier.record(self.dirty_list.len() as u64);
+            }
             self.settle_full();
         } else {
+            if let Some(o) = &self.obs {
+                o.settle_sparse.inc();
+                o.frontier.record(self.dirty_list.len() as u64);
+            }
             self.settle_sparse();
         }
     }
@@ -467,14 +512,19 @@ impl<'a> Simulator<'a> {
     /// cells with a changed input (or everything when `all_dirty`).
     fn settle_full(&mut self) {
         let all = self.all_dirty;
+        let mut evals = 0u64;
         for &cell_id in self.netlist.topo_order() {
             let cell = self.netlist.cell(cell_id);
             if !all && !cell.inputs().iter().any(|inp| self.dirty[inp.index()]) {
                 continue;
             }
+            evals += 1;
             if let Some(out) = self.eval_cell(cell_id) {
                 self.dirty[out] = true;
             }
+        }
+        if let Some(o) = &self.obs {
+            o.cell_evals.add(evals);
         }
         // Every flag set before or during this pass has been consumed
         // (loads follow drivers in topological order).
@@ -502,11 +552,13 @@ impl<'a> Simulator<'a> {
             }
         }
         self.dirty_list.clear();
+        let mut evals = 0u64;
         while let Some(std::cmp::Reverse(pos)) = heap.pop() {
             // Safe to unqueue on pop: loads sit strictly later in the
             // topological order, so a popped cell can never be re-pushed.
             self.queued[pos as usize] = false;
             let cell_id = self.netlist.topo_order()[pos as usize];
+            evals += 1;
             if let Some(out) = self.eval_cell(cell_id) {
                 for j in 0..self.fanout[out].len() {
                     let succ = self.fanout[out][j];
@@ -518,6 +570,9 @@ impl<'a> Simulator<'a> {
             }
         }
         self.heap = heap;
+        if let Some(o) = &self.obs {
+            o.cell_evals.add(evals);
+        }
     }
 
     /// Advances one clock cycle: settle, capture, commit, settle.
