@@ -22,6 +22,9 @@ pub enum CoreError {
     Netlist(scanguard_netlist::NetlistError),
     /// A code could not be constructed.
     Code(scanguard_codes::CodeError),
+    /// The linted build gate found Error-severity rule violations
+    /// (see [`Synthesizer::build_linted`](crate::Synthesizer::build_linted)).
+    Lint(scanguard_lint::LintReport),
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +40,18 @@ impl fmt::Display for CoreError {
             CoreError::Dft(e) => write!(f, "scan insertion failed: {e}"),
             CoreError::Netlist(e) => write!(f, "netlist edit failed: {e}"),
             CoreError::Code(e) => write!(f, "code construction failed: {e}"),
+            CoreError::Lint(report) => {
+                write!(f, "lint gate failed: {}", report.summary())?;
+                for d in report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == scanguard_lint::Severity::Error)
+                    .take(3)
+                {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -47,7 +62,7 @@ impl std::error::Error for CoreError {
             CoreError::Dft(e) => Some(e),
             CoreError::Netlist(e) => Some(e),
             CoreError::Code(e) => Some(e),
-            CoreError::ChainsNotGroupable { .. } => None,
+            CoreError::ChainsNotGroupable { .. } | CoreError::Lint(_) => None,
         }
     }
 }

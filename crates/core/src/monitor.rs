@@ -192,12 +192,15 @@ fn build_sequencer(
         ds.push(d);
         qs.push(q);
     }
-    // Ripple incrementer.
+    // Ripple incrementer; the carry out of the top bit is never used, so
+    // its AND gate is not built.
     let mut carry = g.cell(GateKind::TieHi, vec![]);
     let mut inc = Vec::with_capacity(bits);
-    for &q in &qs {
+    for (i, &q) in qs.iter().enumerate() {
         inc.push(g.xor2(q, carry));
-        carry = g.and2(q, carry);
+        if i + 1 < bits {
+            carry = g.and2(q, carry);
+        }
     }
     for i in 0..bits {
         let stepped = g.mux2(mon_en, qs[i], inc[i]);
@@ -260,7 +263,6 @@ pub fn attach_monitor(
         cells: Vec::new(),
     };
     let zero = g.cell(GateKind::TieLo, vec![]);
-    let one = g.cell(GateKind::TieHi, vec![]);
 
     let mut groups = Vec::with_capacity(n_groups);
     let mut group_errs = Vec::with_capacity(n_groups);
@@ -351,6 +353,9 @@ pub fn attach_monitor(
             let width = spec.width() as usize;
             let poly = u64::from(spec.poly());
             let cap = sig_cap.expect("CRC monitors have a capture port");
+            // Only the CRC init value needs a constant 1; the other code
+            // families would leave the tie cell dangling.
+            let one = g.cell(GateKind::TieHi, vec![]);
             {
                 let gi = 0usize;
                 let w_all = chains.width();

@@ -13,7 +13,9 @@ use scanguard_dft::{
     attach_injector, configure_test_mode, insert_scan, Injector, ScanChains, ScanConfig,
     TestModeConfig,
 };
-use scanguard_netlist::{AreaReport, CellLibrary, GateKind, Netlist};
+use scanguard_lint::{lint_design, DesignView, LintReport, RuleSet};
+use scanguard_netlist::{critical_path, AreaReport, CellLibrary, GateKind, Netlist, TimingReport};
+use scanguard_obs::Recorder;
 
 /// A design processed by the reliability-aware synthesizer.
 #[derive(Debug, Clone)]
@@ -34,6 +36,10 @@ pub struct ProtectedDesign {
     /// Area/leakage of the scanned design *before* monitor insertion —
     /// the baseline of the paper's overhead percentages.
     pub baseline: AreaReport,
+    /// Critical-path report of the scanned design *before* monitor
+    /// insertion — the reference for the paper's "no impact on the
+    /// functional critical path" claim (lint rule SG301).
+    pub baseline_timing: TimingReport,
     /// Area/leakage *after* monitor and test-mode insertion (the
     /// injector, a testbench artefact, is excluded).
     pub protected: AreaReport,
@@ -69,6 +75,27 @@ impl ProtectedDesign {
     #[must_use]
     pub fn runtime(&self) -> ProtectedRuntime<'_> {
         ProtectedRuntime::new(self)
+    }
+
+    /// The design metadata the linter's scan/power/claim rules need —
+    /// chains, monitor cells, the domain watermark and the pre-monitor
+    /// timing baseline.
+    #[must_use]
+    pub fn lint_view(&self) -> DesignView<'_> {
+        DesignView {
+            chains: &self.chains,
+            test_mode: self.test_mode.as_ref(),
+            monitor_cells: &self.monitor.cells,
+            gated_watermark: self.gated_watermark,
+            baseline_functional_ps: Some(self.baseline_timing.functional_ps),
+        }
+    }
+
+    /// Runs the given lint rules over this design (structural and
+    /// design-level families).
+    #[must_use]
+    pub fn lint(&self, rules: &RuleSet, rec: Option<&Recorder>) -> LintReport {
+        lint_design(&self.netlist, &self.library, self.lint_view(), rules, rec)
     }
 }
 
@@ -208,9 +235,12 @@ impl Synthesizer {
         }
         netlist.revalidate()?;
 
-        // (3) Baseline snapshot, then monitor generation.
+        // (3) Baseline snapshot (area *and* timing — the critical-path
+        // reference the lint claim rules compare against), then monitor
+        // generation.
         let gated_watermark = netlist.cell_count();
         let baseline = AreaReport::of(&netlist, &library);
+        let baseline_timing = critical_path(&netlist, &library);
         let monitor = attach_monitor(&mut netlist, &scan, code)?;
 
         // (4) Manufacturing-test concatenation.
@@ -235,10 +265,31 @@ impl Synthesizer {
             injector,
             gated_watermark,
             baseline,
+            baseline_timing,
             protected,
             library,
             clock_mhz,
         })
+    }
+
+    /// Runs the flow, then gates the result on the full lint rule set:
+    /// any Error-severity diagnostic fails the build with
+    /// [`CoreError::Lint`] carrying the report. The opt-in way to catch
+    /// a bad synthesizer change (or a hostile input netlist) before it
+    /// reaches simulation.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Synthesizer::build`] returns, plus
+    /// [`CoreError::Lint`] when the linted design violates a rule at
+    /// Error severity.
+    pub fn build_linted(self) -> Result<ProtectedDesign, CoreError> {
+        let design = self.build()?;
+        let report = design.lint(&RuleSet::all(), None);
+        if report.error_count() > 0 {
+            return Err(CoreError::Lint(report));
+        }
+        Ok(design)
     }
 }
 

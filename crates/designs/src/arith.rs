@@ -5,26 +5,32 @@
 use scanguard_netlist::{NetId, NetlistBuilder};
 
 /// Builds `value + 1` over an LSB-first bus; the carry out is dropped
-/// (wrap-around), which is exactly what circular FIFO pointers need.
+/// (wrap-around), which is exactly what circular FIFO pointers need —
+/// so the final carry gate is never built.
 pub fn incrementer(b: &mut NetlistBuilder, bits: &[NetId]) -> Vec<NetId> {
     let mut out = Vec::with_capacity(bits.len());
     let mut carry = b.tie_hi();
-    for &bit in bits {
+    for (i, &bit) in bits.iter().enumerate() {
         out.push(b.xor2(bit, carry));
-        carry = b.and2(bit, carry);
+        if i + 1 < bits.len() {
+            carry = b.and2(bit, carry);
+        }
     }
     out
 }
 
 /// Builds `value - 1` over an LSB-first bus (wrap-around): borrow
-/// propagates through zero bits.
+/// propagates through zero bits. The final borrow is dropped, so its
+/// gates are never built.
 pub fn decrementer(b: &mut NetlistBuilder, bits: &[NetId]) -> Vec<NetId> {
     let mut out = Vec::with_capacity(bits.len());
     let mut borrow = b.tie_hi();
-    for &bit in bits {
+    for (i, &bit) in bits.iter().enumerate() {
         out.push(b.xor2(bit, borrow));
-        let nbit = b.not(bit);
-        borrow = b.and2(nbit, borrow);
+        if i + 1 < bits.len() {
+            let nbit = b.not(bit);
+            borrow = b.and2(nbit, borrow);
+        }
     }
     out
 }

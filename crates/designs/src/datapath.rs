@@ -102,9 +102,13 @@ impl Datapath {
         for i in 0..width {
             let axb = b.xor2(acc_qs[i], operand[i]);
             sum.push(b.xor2(axb, carry));
-            let ab = b.and2(acc_qs[i], operand[i]);
-            let cc = b.and2(axb, carry);
-            carry = b.or2(ab, cc);
+            // The final carry-out is discarded (wrapping add), so don't
+            // generate it.
+            if i + 1 < width {
+                let ab = b.and2(acc_qs[i], operand[i]);
+                let cc = b.and2(axb, carry);
+                carry = b.or2(ab, cc);
+            }
         }
         let xorred: Vec<NetId> = (0..width).map(|i| b.xor2(acc_qs[i], operand[i])).collect();
 

@@ -25,8 +25,14 @@ pub struct TestModeConfig {
     pub test_si: Vec<NetId>,
     /// The `T` scan-out nets the tester observes (chains `W-T..W`).
     pub test_so: Vec<NetId>,
-    /// Length of each concatenated test chain in flops.
+    /// Length of the *longest* concatenated test chain in flops — the
+    /// shift budget a tester needs to fully load or flush every pin.
     pub test_chain_len: usize,
+    /// Per-pin concatenated chain lengths: entry `t` is the total number
+    /// of flops behind test pin `t`, i.e. Σ len of monitor chains
+    /// `t, t+T, t+2T, …`. With balanced chains all entries are equal; with
+    /// non-uniform chain lengths they may differ by up to `W/T - 1`.
+    pub test_chain_lens: Vec<usize>,
 }
 
 impl TestModeConfig {
@@ -98,7 +104,19 @@ pub fn configure_test_mode(
         netlist.set_cell_input(first, 1, muxed);
     }
     netlist.revalidate().map_err(DftError::Netlist)?;
-    let per_group = w / test_width;
+    // Test pin `t` feeds chains t, t+T, t+2T, … in concatenation order, so
+    // its chain length is the sum of those chains' lengths — *not*
+    // `(W/T) * max_len`, which over-counts when chain lengths are
+    // non-uniform.
+    let test_chain_lens: Vec<usize> = (0..test_width)
+        .map(|t| {
+            (t..w)
+                .step_by(test_width)
+                .map(|j| chains.chains[j].len())
+                .sum()
+        })
+        .collect();
+    let test_chain_len = test_chain_lens.iter().copied().max().unwrap_or(0);
     Ok(TestModeConfig {
         test_mode,
         test_width,
@@ -107,7 +125,8 @@ pub fn configure_test_mode(
             .iter()
             .map(|c| c.so)
             .collect(),
-        test_chain_len: per_group * chains.max_len(),
+        test_chain_len,
+        test_chain_lens,
     })
 }
 
@@ -210,5 +229,81 @@ mod tests {
         let (mut nl, sc) = scanned(24, 6);
         let tm = configure_test_mode(&mut nl, &sc, 3).unwrap();
         assert_eq!(tm.test_chain_len * tm.test_width, sc.ff_count());
+        assert_eq!(tm.test_chain_lens, vec![8, 8, 8]);
+    }
+
+    /// Shifts an `n`-bit pattern through the single test pin and asserts
+    /// it emerges unchanged after exactly `n` more cycles — i.e. the
+    /// concatenated chain really holds `n` flops, no more, no fewer.
+    fn assert_single_pin_roundtrip(nl: &Netlist, sc: &ScanChains, tm: &TestModeConfig, n: usize) {
+        let lib = CellLibrary::st120nm();
+        let mut sim = Simulator::new(nl, &lib);
+        for (name, _) in nl.input_ports() {
+            if name.starts_with("d[") {
+                sim.set_port_bool(name, false).unwrap();
+            }
+        }
+        sc.set_scan_enable(&mut sim, true);
+        tm.set_test_mode(&mut sim, true);
+        for c in &sc.chains {
+            sim.set_net(c.si, Logic::Zero);
+        }
+        let pattern: Vec<Logic> = (0..n).map(|i| Logic::from(i % 3 != 1)).collect();
+        for &bit in &pattern {
+            tm.shift(&mut sim, &[bit]);
+        }
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(tm.shift(&mut sim, &[Logic::Zero])[0]);
+        }
+        assert_eq!(out, pattern, "pattern intact after {n}-cycle roundtrip");
+    }
+
+    #[test]
+    fn degenerate_single_chain_needs_no_concatenation() {
+        // W = 1, T = 1: the overlay has no pair to concatenate; the test
+        // chain is the monitor chain itself.
+        let (mut nl, sc) = scanned(8, 1);
+        let cells_before = nl.cell_count();
+        let tm = configure_test_mode(&mut nl, &sc, 1).unwrap();
+        // A plain scanned chain's si already feeds the first flop, so no
+        // mux is inserted at all for W = T = 1.
+        assert_eq!(nl.cell_count(), cells_before);
+        assert_eq!(tm.test_chain_len, 8);
+        assert_eq!(tm.test_chain_lens, vec![8]);
+        assert_eq!(tm.test_si, vec![sc.chains[0].si]);
+        assert_eq!(tm.test_so, vec![sc.chains[0].so]);
+        assert_single_pin_roundtrip(&nl, &sc, &tm, 8);
+    }
+
+    #[test]
+    fn nonuniform_chains_concatenate_to_actual_flop_count() {
+        // 8 flops over 3 chains balance as 3+3+2 — Fig. 5(b) with unequal
+        // chain lengths. With T = 1 the single test chain holds all 8
+        // flops: the metadata must say 8 (not 3 * max_len = 9) and an
+        // 8-cycle roundtrip must be lossless.
+        let (mut nl, sc) = scanned(8, 3);
+        let lens: Vec<usize> = sc.chains.iter().map(|c| c.len()).collect();
+        assert_eq!(lens, vec![3, 3, 2], "insert_scan balances 8 over 3");
+        let tm = configure_test_mode(&mut nl, &sc, 1).unwrap();
+        assert_eq!(tm.test_chain_lens, vec![8]);
+        assert_eq!(tm.test_chain_len, 8);
+        assert_single_pin_roundtrip(&nl, &sc, &tm, 8);
+    }
+
+    #[test]
+    fn nonuniform_chains_per_pin_lengths_differ() {
+        // Same 3+3+2 split with T = 3: each pin sees one chain, so the
+        // per-pin lengths are simply the chain lengths and the shift
+        // budget is the longest one.
+        let (mut nl, sc) = scanned(8, 3);
+        let tm = configure_test_mode(&mut nl, &sc, 3).unwrap();
+        assert_eq!(tm.test_chain_lens, vec![3, 3, 2]);
+        assert_eq!(tm.test_chain_len, 3);
+        assert_eq!(
+            tm.test_chain_lens.iter().sum::<usize>(),
+            sc.ff_count(),
+            "every flop behind exactly one pin"
+        );
     }
 }

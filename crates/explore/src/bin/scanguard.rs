@@ -9,6 +9,7 @@
 //! scanguard fig10    --sequences 10000
 //! scanguard rush     --trials 2000
 //! scanguard verilog  --depth 8 --width 8 --chains 8 --code crc16 --out fifo.v
+//! scanguard lint     fifo32x32 --deny warn
 //! ```
 
 use scanguard_core::{break_even, cost_header, measure_cost, CodeChoice, Synthesizer};
@@ -17,6 +18,7 @@ use scanguard_explore::{report, DesignSpec, Objective, SpaceReport, SpaceSpec};
 use scanguard_harness::{
     ablation_rush, cost_sweep, fig10_family, print_table, validation_obs, Fig10Config,
 };
+use scanguard_lint::{lint_netlist, RuleSet, Severity};
 use scanguard_obs::{Level, Recorder, RecorderConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -27,7 +29,13 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let parsed = parse_opts(rest)
+    // `lint` accepts its design as a positional: `scanguard lint fifo32x32`.
+    let mut rest = rest.to_vec();
+    if cmd == "lint" && rest.first().is_some_and(|a| !a.starts_with("--")) {
+        let design = rest.remove(0);
+        rest.splice(0..0, ["--design".to_owned(), design]);
+    }
+    let parsed = parse_opts(&rest)
         .and_then(|o| check_keys(cmd, &o).map(|()| o))
         .and_then(|o| Obs::from_opts(&o).map(|obs| (o, obs)));
     let (opts, obs) = match parsed {
@@ -46,6 +54,7 @@ fn main() -> ExitCode {
         "fig10" => cmd_fig10(&opts),
         "rush" => cmd_rush(&opts),
         "coverage" => cmd_coverage(&opts, &obs),
+        "lint" => cmd_lint(&opts, &obs),
         "verilog" => cmd_verilog(&opts),
         "json" => cmd_json(&opts),
         "help" | "--help" | "-h" => {
@@ -152,6 +161,10 @@ COMMANDS:
   coverage  stuck-at fault coverage of the protected design's scan test
               --depth N --width N --chains N --code CODE --test-width N
               [--patterns N] [--max-faults N] [--threads N] [--json FILE]
+  lint      static design-rule check of a synthesized protected design
+              [DESIGN | --design fifo32x32|datapath8x16|...] [--chains N]
+              [--code CODE] [--test-width N] [--rules SG001,SG102,...]
+              [--deny error|warn|info] [--json FILE] [--in NETLIST.json]
   verilog   export a protected FIFO as structural Verilog
               --depth N --width N --chains N --code CODE [--out FILE]
   json      export a protected FIFO netlist as JSON
@@ -198,6 +211,19 @@ const COMMAND_KEYS: &[(&str, &[&str])] = &[
             "scope",
             "threads",
             "json",
+        ],
+    ),
+    (
+        "lint",
+        &[
+            "design",
+            "chains",
+            "code",
+            "test-width",
+            "rules",
+            "deny",
+            "json",
+            "in",
         ],
     ),
     (
@@ -655,6 +681,62 @@ fn cmd_coverage(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String>
         println!("wrote {path}");
     }
     Ok(())
+}
+
+fn cmd_lint(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> {
+    let rules = match opts.get("rules") {
+        Some(list) => {
+            let ids: Vec<&str> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            RuleSet::select(&ids).map_err(|e| e.to_string())?
+        }
+        None => RuleSet::all(),
+    };
+    let deny: Severity = match opts.get("deny") {
+        Some(v) => v.parse()?,
+        None => Severity::Error,
+    };
+    let report = if let Some(path) = opts.get("in") {
+        // Raw decode, deliberately without revalidation: linting
+        // netlists the validator would reject is the point.
+        let doc = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let nl: scanguard_netlist::Netlist =
+            serde_json::from_str(&doc).map_err(|e| format!("parsing {path}: {e}"))?;
+        lint_netlist(
+            &nl,
+            &scanguard_netlist::CellLibrary::st120nm(),
+            &rules,
+            obs.active(),
+        )
+    } else {
+        let spec = DesignSpec::parse(opts.get("design").map_or("fifo32x32", String::as_str))?;
+        let chains = get(opts, "chains", 8usize)?;
+        let code = parse_code(opts)?;
+        let tw = get(opts, "test-width", 4usize)?;
+        let design = Synthesizer::new(spec.netlist())
+            .chains(chains)
+            .code(code)
+            .test_width(tw)
+            .build()
+            .map_err(|e| e.to_string())?;
+        design.lint(&rules, obs.active())
+    };
+    println!("{report}");
+    if let Some(path) = opts.get("json") {
+        std::fs::write(path, report.to_json()?).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if report.is_clean_at(deny) {
+        Ok(())
+    } else {
+        Err(format!(
+            "lint found findings at or above --deny {deny} (worst: {})",
+            report.worst().map_or_else(String::new, |s| s.to_string())
+        ))
+    }
 }
 
 fn cmd_verilog(opts: &HashMap<String, String>) -> Result<(), String> {

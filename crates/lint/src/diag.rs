@@ -1,0 +1,192 @@
+//! Diagnostics: severities, individual findings and the lint report.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How serious a rule violation is.
+///
+/// The ordering is `Info < Warn < Error`, so `severity >= deny` expresses
+/// a deny threshold the way `scanguard lint --deny warn` uses it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum Severity {
+    /// Advisory; expected on some correct designs (e.g. scan-in ports
+    /// made redundant by the monitor feedback).
+    Info,
+    /// Suspicious structure that simulates fine but usually indicates a
+    /// generator bug (dead logic, unbalanced chains).
+    Warn,
+    /// A violated invariant of the paper's methodology or of netlist
+    /// well-formedness.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+impl FromStr for Severity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "info" => Ok(Severity::Info),
+            "warn" | "warning" => Ok(Severity::Warn),
+            "error" => Ok(Severity::Error),
+            other => Err(format!(
+                "unknown severity {other:?} (valid: info, warn, error)"
+            )),
+        }
+    }
+}
+
+/// One finding: a rule, where it fired, and how to fix it.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct Diagnostic {
+    /// Stable rule ID (`SG001`…).
+    pub rule: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Human-readable statement of what is wrong.
+    pub message: String,
+    /// The cell involved, as a `c<idx> (<name>)` label, when one exists.
+    pub cell: Option<String>,
+    /// The net involved, as an `n<idx> (<name>)` label, when one exists.
+    pub net: Option<String>,
+    /// A one-line suggestion for repairing the violation.
+    pub hint: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:5} {}", self.rule, self.severity, self.message)?;
+        if let Some(cell) = &self.cell {
+            write!(f, " [cell {cell}]")?;
+        }
+        if let Some(net) = &self.net {
+            write!(f, " [net {net}]")?;
+        }
+        write!(f, " — hint: {}", self.hint)
+    }
+}
+
+/// The result of running a rule set over one design.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct LintReport {
+    /// Design name (from the netlist).
+    pub design: String,
+    /// Number of rules that actually executed (design-level rules are
+    /// skipped when no design metadata is provided).
+    pub rules_run: usize,
+    /// Cells in the linted netlist.
+    pub cells: usize,
+    /// Nets in the linted netlist.
+    pub nets: usize,
+    /// Every finding, in rule-registry order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of findings at exactly `sev`.
+    #[must_use]
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// Number of Error-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// `true` when no finding is at or above the `deny` threshold.
+    #[must_use]
+    pub fn is_clean_at(&self, deny: Severity) -> bool {
+        self.diagnostics.iter().all(|d| d.severity < deny)
+    }
+
+    /// The most severe finding, or `None` for a fully clean report.
+    #[must_use]
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the encoder's message on failure (practically
+    /// unreachable for this tree shape).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// One-line human summary (`N errors, M warnings, K infos`).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} rules on {} ({} cells): {} errors, {} warnings, {} infos",
+            self.rules_run,
+            self.design,
+            self.cells,
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        )
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(f, "{}", self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_parses() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!("warn".parse::<Severity>().unwrap(), Severity::Warn);
+        assert_eq!("error".parse::<Severity>().unwrap(), Severity::Error);
+        assert!("fatal".parse::<Severity>().is_err());
+    }
+
+    #[test]
+    fn deny_threshold_semantics() {
+        let report = LintReport {
+            design: "t".into(),
+            rules_run: 1,
+            cells: 0,
+            nets: 0,
+            diagnostics: vec![Diagnostic {
+                rule: "SG005",
+                severity: Severity::Info,
+                message: "m".into(),
+                cell: None,
+                net: None,
+                hint: "h".into(),
+            }],
+        };
+        assert!(report.is_clean_at(Severity::Warn));
+        assert!(!report.is_clean_at(Severity::Info));
+        assert_eq!(report.worst(), Some(Severity::Info));
+        assert!(report.to_json().unwrap().contains("SG005"));
+    }
+}

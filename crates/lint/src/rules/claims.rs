@@ -1,0 +1,119 @@
+//! `SG3xx` — the paper's headline claims, checked structurally: the
+//! monitor must not touch the functional critical path (Sec. III:
+//! "no impact on power gated circuits' performance").
+
+use crate::{Diagnostic, LintContext, Rule, Severity};
+
+/// Slack tolerance in ps for floating-point arrival comparison.
+const EPS_PS: f64 = 1e-6;
+
+/// SG301: the worst arrival at any *gated* flop's functional `d` pin is
+/// unchanged versus the pre-monitor baseline recorded at synthesis time.
+pub struct FunctionalCriticalPathUnchanged;
+
+impl Rule for FunctionalCriticalPathUnchanged {
+    fn id(&self) -> &'static str {
+        "SG301"
+    }
+    fn title(&self) -> &'static str {
+        "critical-path-unchanged"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn needs_design(&self) -> bool {
+        true
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(view) = ctx.design() else {
+            return Vec::new();
+        };
+        let Some(baseline) = view.baseline_functional_ps else {
+            return Vec::new(); // no baseline recorded: nothing to compare
+        };
+        let Some(arrival) = ctx.arrivals() else {
+            return Vec::new(); // loops; SG004 reports them
+        };
+        let wm = view.gated_watermark;
+        let mut worst = 0.0f64;
+        let mut worst_cell = None;
+        for (id, cell) in ctx.netlist().cells() {
+            if id.index() >= wm || !cell.kind().is_sequential() {
+                continue;
+            }
+            let at = arrival[cell.inputs()[0].index()];
+            if at > worst {
+                worst = at;
+                worst_cell = Some(id);
+            }
+        }
+        if worst > baseline + EPS_PS {
+            let cell = worst_cell.map(|c| ctx.cell_label(c));
+            return vec![Diagnostic {
+                rule: self.id(),
+                severity: self.severity(),
+                message: format!(
+                    "functional critical path grew from {baseline:.1} ps to {worst:.1} \
+                     ps after monitor insertion"
+                ),
+                cell,
+                net: None,
+                hint: "monitor logic must attach to scan pins only; keep functional \
+                       `d` cones untouched"
+                    .into(),
+            }];
+        }
+        Vec::new()
+    }
+}
+
+/// SG302: no always-on (monitor/overlay) cell output reaches any gated
+/// flop's functional `d` pin combinationally — the structural form of
+/// SG301, independent of library delays.
+pub struct MonitorOffFunctionalPaths;
+
+impl Rule for MonitorOffFunctionalPaths {
+    fn id(&self) -> &'static str {
+        "SG302"
+    }
+    fn title(&self) -> &'static str {
+        "monitor-off-functional-paths"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn needs_design(&self) -> bool {
+        true
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(view) = ctx.design() else {
+            return Vec::new();
+        };
+        let wm = view.gated_watermark;
+        let reach = ctx.alwayson_reach(wm);
+        let mut out = Vec::new();
+        for (id, cell) in ctx.netlist().cells() {
+            if id.index() >= wm || !cell.kind().is_sequential() {
+                continue;
+            }
+            let d_pin = cell.inputs()[0];
+            if reach[d_pin.index()] {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: self.severity(),
+                    message: format!(
+                        "monitor/overlay logic reaches the functional d pin of gated \
+                         flop {}",
+                        ctx.cell_label(id)
+                    ),
+                    cell: Some(ctx.cell_label(id)),
+                    net: Some(ctx.net_label(d_pin)),
+                    hint: "always-on logic may feed scan pins (pin 1) only; functional \
+                           data paths must stay inside the gated domain"
+                        .into(),
+                });
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,173 @@
+//! The rule trait, the registry of shipped rules, and rule selection.
+
+mod claims;
+mod power;
+mod scan;
+mod structural;
+
+use crate::{Diagnostic, LintContext, Severity};
+use std::fmt;
+
+/// One design-rule check.
+///
+/// Rules are stateless: everything they need is on the shared
+/// [`LintContext`]. A rule with `needs_design() == true` is skipped
+/// (not failed) when the context carries no
+/// [`DesignView`](crate::DesignView).
+pub trait Rule {
+    /// Stable ID (`SG001`…); never reused across versions.
+    fn id(&self) -> &'static str;
+    /// Short name for tables and `--rules` listings.
+    fn title(&self) -> &'static str;
+    /// Severity every diagnostic of this rule carries.
+    fn severity(&self) -> Severity;
+    /// `true` when the rule needs chain/monitor/domain metadata.
+    fn needs_design(&self) -> bool {
+        false
+    }
+    /// Runs the check; an empty vector means the rule passed.
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic>;
+}
+
+impl fmt::Debug for dyn Rule + Send + Sync {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rule({})", self.id())
+    }
+}
+
+/// Every shipped rule, in ID order.
+#[must_use]
+pub fn all_rules() -> Vec<Box<dyn Rule + Send + Sync>> {
+    vec![
+        Box::new(structural::FloatingNet),
+        Box::new(structural::MultiDrivenNet),
+        Box::new(structural::UnobservableCell),
+        Box::new(structural::CombinationalLoop),
+        Box::new(structural::UnusedInputPort),
+        Box::new(scan::ChainMembership),
+        Box::new(scan::ChainConnectivity),
+        Box::new(scan::ChainBalance),
+        Box::new(scan::TestModeConcatenation),
+        Box::new(power::DomainCrossingIsolation),
+        Box::new(power::MonitorInAlwaysOnDomain),
+        Box::new(power::CorrectionFeedbackReachesChains),
+        Box::new(claims::FunctionalCriticalPathUnchanged),
+        Box::new(claims::MonitorOffFunctionalPaths),
+    ]
+}
+
+/// The stable IDs of every shipped rule, in registry order.
+#[must_use]
+pub fn rule_ids() -> Vec<&'static str> {
+    all_rules().iter().map(|r| r.id()).collect()
+}
+
+/// A requested rule ID that no shipped rule carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownRule {
+    /// The ID that failed to resolve.
+    pub requested: String,
+    /// Every valid ID, for the error message.
+    pub valid: Vec<&'static str>,
+}
+
+impl fmt::Display for UnknownRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown lint rule {:?} (valid: {})",
+            self.requested,
+            self.valid.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownRule {}
+
+/// An ordered selection of rules to run.
+pub struct RuleSet {
+    rules: Vec<Box<dyn Rule + Send + Sync>>,
+}
+
+impl fmt::Debug for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.rules.iter().map(|r| r.id()))
+            .finish()
+    }
+}
+
+impl RuleSet {
+    /// Every shipped rule.
+    #[must_use]
+    pub fn all() -> Self {
+        RuleSet { rules: all_rules() }
+    }
+
+    /// Only the rules whose IDs appear in `ids` (registry order is
+    /// preserved regardless of the order of `ids`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownRule`] — listing every valid ID — for the first
+    /// requested ID that no rule carries.
+    pub fn select(ids: &[&str]) -> Result<Self, UnknownRule> {
+        let valid = rule_ids();
+        for &id in ids {
+            if !valid.contains(&id) {
+                return Err(UnknownRule {
+                    requested: id.to_owned(),
+                    valid,
+                });
+            }
+        }
+        let rules = all_rules()
+            .into_iter()
+            .filter(|r| ids.contains(&r.id()))
+            .collect();
+        Ok(RuleSet { rules })
+    }
+
+    /// The selected rules, in registry order.
+    #[must_use]
+    pub fn rules(&self) -> &[Box<dyn Rule + Send + Sync>] {
+        &self.rules
+    }
+
+    /// Number of selected rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when no rules are selected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_stable_prefixed() {
+        let ids = rule_ids();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate rule ID");
+        assert!(ids.iter().all(|id| id.starts_with("SG")));
+    }
+
+    #[test]
+    fn select_keeps_registry_order_and_rejects_unknowns() {
+        let rs = RuleSet::select(&["SG004", "SG001"]).unwrap();
+        let picked: Vec<&str> = rs.rules().iter().map(|r| r.id()).collect();
+        assert_eq!(picked, vec!["SG001", "SG004"]);
+        let err = RuleSet::select(&["SG999"]).unwrap_err();
+        assert_eq!(err.requested, "SG999");
+        assert!(err.to_string().contains("SG001"));
+    }
+}

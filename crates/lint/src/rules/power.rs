@@ -1,0 +1,176 @@
+//! `SG2xx` — power-domain rules: isolation at the gated/always-on
+//! boundary, monitor placement, and correction feedback coverage.
+
+use crate::{Diagnostic, LintContext, Rule, Severity};
+use std::collections::HashSet;
+
+/// SG201: every always-on cell input that crosses from the gated domain
+/// comes directly from a retention flop's output. Anything else —
+/// combinational gates, plain flops, tie cells — floats when the gated
+/// rail collapses, feeding X into the monitor.
+pub struct DomainCrossingIsolation;
+
+impl Rule for DomainCrossingIsolation {
+    fn id(&self) -> &'static str {
+        "SG201"
+    }
+    fn title(&self) -> &'static str {
+        "domain-crossing-isolation"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn needs_design(&self) -> bool {
+        true
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(view) = ctx.design() else {
+            return Vec::new();
+        };
+        let wm = view.gated_watermark;
+        let mut out = Vec::new();
+        for (id, cell) in ctx.netlist().cells() {
+            if id.index() < wm {
+                continue; // gated consumers may read anything
+            }
+            for &inp in cell.inputs() {
+                let Some(&d) = ctx.drivers(inp).first() else {
+                    continue; // floating; SG001 reports it
+                };
+                if d.index() >= wm {
+                    continue; // always-on to always-on
+                }
+                let kind = ctx.netlist().cell(d).kind();
+                if !kind.is_retention() {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        severity: self.severity(),
+                        message: format!(
+                            "always-on cell {} reads gated net {} driven by a \
+                             non-retention {kind:?} cell {}",
+                            ctx.cell_label(id),
+                            ctx.net_label(inp),
+                            ctx.cell_label(d),
+                        ),
+                        cell: Some(ctx.cell_label(id)),
+                        net: Some(ctx.net_label(inp)),
+                        hint: "route gated->always-on crossings through retention flop \
+                               outputs (or add isolation cells)"
+                            .into(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// SG202: the monitor hardware — parity trees, store rows, syndrome
+/// decoder, correction logic, sequencers — lives entirely in the
+/// always-on domain; a single gated monitor cell loses the very state
+/// the methodology is supposed to retain.
+pub struct MonitorInAlwaysOnDomain;
+
+impl Rule for MonitorInAlwaysOnDomain {
+    fn id(&self) -> &'static str {
+        "SG202"
+    }
+    fn title(&self) -> &'static str {
+        "monitor-always-on"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn needs_design(&self) -> bool {
+        true
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(view) = ctx.design() else {
+            return Vec::new();
+        };
+        let wm = view.gated_watermark;
+        let mut out = Vec::new();
+        for &c in view.monitor_cells {
+            if c.index() < wm {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: self.severity(),
+                    message: format!(
+                        "monitor cell {} sits in the power-gated domain (index {} < \
+                         watermark {wm})",
+                        ctx.cell_label(c),
+                        c.index(),
+                    ),
+                    cell: Some(ctx.cell_label(c)),
+                    net: None,
+                    hint: "generate monitor hardware only after the gated-domain \
+                           watermark is recorded"
+                        .into(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// SG203: the correction feedback statically reaches every chain's
+/// scan-in — flop 0's scan pin traces back through monitor logic. A
+/// chain outside the feedback circulates uncorrected (for detect-only
+/// codes the buffer tap still counts: the stream must pass the monitor).
+pub struct CorrectionFeedbackReachesChains;
+
+impl Rule for CorrectionFeedbackReachesChains {
+    fn id(&self) -> &'static str {
+        "SG203"
+    }
+    fn title(&self) -> &'static str {
+        "correction-feedback-coverage"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn needs_design(&self) -> bool {
+        true
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(view) = ctx.design() else {
+            return Vec::new();
+        };
+        if view.monitor_cells.is_empty() {
+            return Vec::new(); // plain scanned design: nothing to cover
+        }
+        let monitor: HashSet<usize> = view.monitor_cells.iter().map(|c| c.index()).collect();
+        let mut out = Vec::new();
+        for (k, chain) in view.chains.chains.iter().enumerate() {
+            let Some(&first) = chain.cells.first() else {
+                continue;
+            };
+            let cell = ctx.netlist().cell(first);
+            if !cell.kind().is_scan() {
+                continue; // SG101 reports it
+            }
+            let cone = ctx.comb_cone(cell.inputs()[1]);
+            let touched = cone
+                .comb_cells
+                .iter()
+                .chain(cone.seq_sources.iter())
+                .any(|c| monitor.contains(&c.index()));
+            if !touched {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: self.severity(),
+                    message: format!(
+                        "chain {k}'s scan-in is not fed through the monitor: upsets on \
+                         it are never observed or corrected"
+                    ),
+                    cell: Some(ctx.cell_label(first)),
+                    net: Some(ctx.net_label(cell.inputs()[1])),
+                    hint: "wire the monitor feedback (corrected or buffered scan-out) \
+                           into the chain's first scan pin"
+                        .into(),
+                });
+            }
+        }
+        out
+    }
+}

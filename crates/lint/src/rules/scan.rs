@@ -1,0 +1,307 @@
+//! `SG1xx` — scan DRC: chain membership, static chain tracing,
+//! balance, and the Fig. 5(b) test-mode concatenation.
+
+use crate::{Diagnostic, LintContext, Rule, Severity};
+use std::collections::HashMap;
+
+/// SG101: every retention flop sits on exactly one chain, and every
+/// chain member is a scan-capable flop.
+pub struct ChainMembership;
+
+impl Rule for ChainMembership {
+    fn id(&self) -> &'static str {
+        "SG101"
+    }
+    fn title(&self) -> &'static str {
+        "chain-membership"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn needs_design(&self) -> bool {
+        true
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(view) = ctx.design() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut owner: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (k, chain) in view.chains.chains.iter().enumerate() {
+            for &c in &chain.cells {
+                owner.entry(c.index()).or_default().push(k);
+                if !ctx.netlist().cell(c).kind().is_scan() {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        severity: self.severity(),
+                        message: format!(
+                            "chain {k} lists cell {} which is not a scan flop ({:?})",
+                            ctx.cell_label(c),
+                            ctx.netlist().cell(c).kind(),
+                        ),
+                        cell: Some(ctx.cell_label(c)),
+                        net: None,
+                        hint: "scan insertion must morph every chained flop to Sdff/Rsdff".into(),
+                    });
+                }
+            }
+        }
+        for (cell_idx, chains) in &owner {
+            if chains.len() > 1 {
+                let c = scanguard_netlist::CellId::from_index(*cell_idx);
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: self.severity(),
+                    message: format!(
+                        "flop {} appears on {} chains (e.g. {} and {})",
+                        ctx.cell_label(c),
+                        chains.len(),
+                        chains[0],
+                        chains[1],
+                    ),
+                    cell: Some(ctx.cell_label(c)),
+                    net: None,
+                    hint: "each flop must shift through exactly one chain".into(),
+                });
+            }
+        }
+        for (id, cell) in ctx.netlist().cells() {
+            if cell.kind().is_retention() && !owner.contains_key(&id.index()) {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: self.severity(),
+                    message: format!(
+                        "retention flop {} is on no scan chain: its state never \
+                         circulates through the monitor",
+                        ctx.cell_label(id)
+                    ),
+                    cell: Some(ctx.cell_label(id)),
+                    net: None,
+                    hint: "stitch the flop into a chain or demote it to a plain Dff".into(),
+                });
+            }
+        }
+        out.sort_by(|a, b| a.message.cmp(&b.message));
+        out
+    }
+}
+
+/// SG102: each chain is statically traceable — flop `i`'s scan pin is
+/// combinationally fed (through any muxes/XORs overlays add) by flop
+/// `i-1`'s output, the first flop by the chain's scan-in port or the
+/// circulation feedback, and the chain's `so` is the last flop's output.
+pub struct ChainConnectivity;
+
+impl Rule for ChainConnectivity {
+    fn id(&self) -> &'static str {
+        "SG102"
+    }
+    fn title(&self) -> &'static str {
+        "chain-connectivity"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn needs_design(&self) -> bool {
+        true
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(view) = ctx.design() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (k, chain) in view.chains.chains.iter().enumerate() {
+            if chain.cells.is_empty() {
+                continue;
+            }
+            let last = *chain.cells.last().expect("non-empty");
+            if ctx.netlist().cell(last).output() != chain.so {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: self.severity(),
+                    message: format!(
+                        "chain {k} scan-out {} is not the last flop's output",
+                        ctx.net_label(chain.so)
+                    ),
+                    cell: Some(ctx.cell_label(last)),
+                    net: Some(ctx.net_label(chain.so)),
+                    hint: "chain metadata and netlist disagree; re-run scan insertion".into(),
+                });
+            }
+            for (i, &c) in chain.cells.iter().enumerate() {
+                let cell = ctx.netlist().cell(c);
+                if !cell.kind().is_scan() {
+                    continue; // SG101 reports the kind problem.
+                }
+                let si_pin = cell.inputs()[1];
+                let cone = ctx.comb_cone(si_pin);
+                let ok = if i == 0 {
+                    // First flop: fed by the chain's si port, or (after
+                    // monitor insertion) by the circulation feedback from
+                    // the chain's own scan-out.
+                    cone.ports.contains(&chain.si) || cone.seq_sources.contains(&last)
+                } else {
+                    cone.seq_sources.contains(&chain.cells[i - 1])
+                };
+                if !ok {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        severity: self.severity(),
+                        message: format!(
+                            "chain {k} breaks at position {i}: flop {} scan pin is not \
+                             reachable from its upstream stitch",
+                            ctx.cell_label(c)
+                        ),
+                        cell: Some(ctx.cell_label(c)),
+                        net: Some(ctx.net_label(si_pin)),
+                        hint: "restitch the chain: the scan pin must trace back to the \
+                               previous flop (or the scan-in/feedback for position 0)"
+                            .into(),
+                    });
+                    break; // One break per chain; downstream errors cascade.
+                }
+            }
+        }
+        out
+    }
+}
+
+/// SG103: all chains have the same length `l`. Unbalanced chains make
+/// the encode/decode latency `l x T` of the *longest* chain while the
+/// monitor sequencer counts a single shared `l` — the synthesizer pads
+/// precisely to avoid this.
+pub struct ChainBalance;
+
+impl Rule for ChainBalance {
+    fn id(&self) -> &'static str {
+        "SG103"
+    }
+    fn title(&self) -> &'static str {
+        "chain-balance"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn needs_design(&self) -> bool {
+        true
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(view) = ctx.design() else {
+            return Vec::new();
+        };
+        let lens: Vec<usize> = view.chains.chains.iter().map(|c| c.len()).collect();
+        let (min, max) = match (lens.iter().min(), lens.iter().max()) {
+            (Some(&a), Some(&b)) => (a, b),
+            _ => return Vec::new(),
+        };
+        if min == max {
+            return Vec::new();
+        }
+        vec![Diagnostic {
+            rule: self.id(),
+            severity: self.severity(),
+            message: format!("chain lengths are unbalanced (min {min}, max {max}): {lens:?}"),
+            cell: None,
+            net: None,
+            hint: "pad shorter chains with dummy retention flops (Synthesizer does)".into(),
+        }]
+    }
+}
+
+/// SG104: Fig. 5(b) test-mode concatenation — chain `j >= T` is fed from
+/// chain `j-T`'s scan-out, the per-pin concatenated lengths match the
+/// metadata, and their sum equals the total flop count.
+pub struct TestModeConcatenation;
+
+impl Rule for TestModeConcatenation {
+    fn id(&self) -> &'static str {
+        "SG104"
+    }
+    fn title(&self) -> &'static str {
+        "testmode-concatenation"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn needs_design(&self) -> bool {
+        true
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(view) = ctx.design() else {
+            return Vec::new();
+        };
+        let Some(tm) = view.test_mode else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let w = view.chains.width();
+        let t = tm.test_width;
+        if t == 0 || w % t != 0 {
+            return vec![Diagnostic {
+                rule: self.id(),
+                severity: self.severity(),
+                message: format!("test width {t} does not divide the chain count {w}"),
+                cell: None,
+                net: None,
+                hint: "choose T | W so chains concatenate into whole test chains".into(),
+            }];
+        }
+        // Structure: chain j's first scan pin must trace to chain j-T's
+        // scan-out flop.
+        for j in t..w {
+            let first = view.chains.chains[j].cells[0];
+            let feeder = *view.chains.chains[j - t]
+                .cells
+                .last()
+                .expect("chains are non-empty");
+            let cone = ctx.comb_cone(ctx.netlist().cell(first).inputs()[1]);
+            if !cone.seq_sources.contains(&feeder) {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: self.severity(),
+                    message: format!(
+                        "test-mode concatenation broken: chain {j} is not fed from \
+                         chain {}'s scan-out",
+                        j - t
+                    ),
+                    cell: Some(ctx.cell_label(first)),
+                    net: None,
+                    hint: "the concat mux must select chain j-T's so in test mode".into(),
+                });
+            }
+        }
+        // Metadata: per-pin lengths are the sums of the concatenated
+        // chains, and together they cover every flop exactly once.
+        let expect: Vec<usize> = (0..t)
+            .map(|p| (p..w).step_by(t).map(|j| view.chains.chains[j].len()).sum())
+            .collect();
+        if tm.test_chain_lens != expect {
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: self.severity(),
+                message: format!(
+                    "test chain length metadata {:?} does not match the chains {:?}",
+                    tm.test_chain_lens, expect
+                ),
+                cell: None,
+                net: None,
+                hint: "regenerate the TestModeConfig after editing chains".into(),
+            });
+        }
+        let total: usize = expect.iter().sum();
+        if total != view.chains.ff_count() {
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: self.severity(),
+                message: format!(
+                    "test chains cover {total} flops but the chains hold {}",
+                    view.chains.ff_count()
+                ),
+                cell: None,
+                net: None,
+                hint: "every scanned flop must be behind exactly one test pin".into(),
+            });
+        }
+        out
+    }
+}

@@ -113,13 +113,48 @@ impl NetlistBuilder {
     }
 
     /// Drives the pre-declared net `target` with a new cell of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is already driven; use
+    /// [`try_drive`](Self::try_drive) for a recoverable error naming the
+    /// net.
     pub fn drive(&mut self, target: NetId, kind: GateKind, inputs: Vec<NetId>) -> CellId {
         self.nl.add_cell_driving(kind, inputs, target, None)
+    }
+
+    /// Fallible variant of [`drive`](Self::drive): a second driver for
+    /// `target` is reported as [`NetlistError::MultipleDrivers`] naming the
+    /// contended net at build time, instead of panicking (or silently
+    /// rewiring).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] when `target` already has
+    /// a driver or is a primary input.
+    pub fn try_drive(
+        &mut self,
+        target: NetId,
+        kind: GateKind,
+        inputs: Vec<NetId>,
+    ) -> Result<CellId, NetlistError> {
+        self.nl.try_add_cell_driving(kind, inputs, target, None)
     }
 
     /// Closes a feedback loop: drives `target` from `src` through a buffer.
     pub fn connect(&mut self, target: NetId, src: NetId) -> CellId {
         self.drive(target, GateKind::Buf, vec![src])
+    }
+
+    /// Fallible variant of [`connect`](Self::connect); see
+    /// [`try_drive`](Self::try_drive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] when `target` already has
+    /// a driver or is a primary input.
+    pub fn try_connect(&mut self, target: NetId, src: NetId) -> Result<CellId, NetlistError> {
+        self.try_drive(target, GateKind::Buf, vec![src])
     }
 
     // --- combinational conveniences -----------------------------------
@@ -355,6 +390,35 @@ mod tests {
         let mut b = NetlistBuilder::new("t");
         let _ = b.input("a");
         let _ = b.input("a");
+    }
+
+    #[test]
+    fn try_drive_names_the_contended_net() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let fb = b.net("fb");
+        b.try_connect(fb, a).unwrap();
+        let err = b.try_drive(fb, GateKind::Not, vec![a]).unwrap_err();
+        match err {
+            NetlistError::MultipleDrivers { net, name, .. } => {
+                assert_eq!(net, fb);
+                assert_eq!(name.as_deref(), Some("fb"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The netlist is untouched by the rejected edit: only the buffer.
+        assert_eq!(b.cell_count(), 1);
+    }
+
+    #[test]
+    fn try_drive_rejects_primary_inputs() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let z = b.tie_lo();
+        assert!(matches!(
+            b.try_drive(a, GateKind::Buf, vec![z]),
+            Err(NetlistError::MultipleDrivers { name: Some(n), .. }) if n == "a"
+        ));
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub enum NetlistError {
     MultipleDrivers {
         /// The contended net.
         net: NetId,
-        /// The second driver that caused the conflict.
+        /// The contended net's name, when one was assigned.
+        name: Option<String>,
+        /// A driver involved in the conflict (the second one found, or
+        /// the already-installed driver when the conflict is rejected at
+        /// edit time).
         cell: CellId,
     },
     /// The combinational part of the netlist contains a cycle.
@@ -51,9 +55,16 @@ impl fmt::Display for NetlistError {
                 Some(n) => write!(f, "net {net} ({n}) has no driver"),
                 None => write!(f, "net {net} has no driver"),
             },
-            NetlistError::MultipleDrivers { net, cell } => {
-                write!(f, "net {net} has multiple drivers (second driver {cell})")
-            }
+            NetlistError::MultipleDrivers { net, name, cell } => match name {
+                Some(n) => write!(
+                    f,
+                    "net {net} ({n}) has multiple drivers (conflicting driver {cell})"
+                ),
+                None => write!(
+                    f,
+                    "net {net} has multiple drivers (conflicting driver {cell})"
+                ),
+            },
             NetlistError::CombinationalLoop { cell } => {
                 write!(f, "combinational loop through cell {cell}")
             }
@@ -84,6 +95,15 @@ mod tests {
             cell: CellId::from_index(1),
         };
         assert_eq!(e.to_string(), "combinational loop through cell c1");
+        let e = NetlistError::MultipleDrivers {
+            net: NetId::from_index(7),
+            name: Some("bus".into()),
+            cell: CellId::from_index(4),
+        };
+        assert_eq!(
+            e.to_string(),
+            "net n7 (bus) has multiple drivers (conflicting driver c4)"
+        );
     }
 
     #[test]

@@ -278,7 +278,9 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics if `inputs.len()` does not match the arity of `kind`, or if
-    /// `out` already has a driver or is a primary input.
+    /// `out` already has a driver or is a primary input. Use
+    /// [`Netlist::try_add_cell_driving`] to get an error instead of a
+    /// panic on a driver conflict.
     pub fn add_cell_driving(
         &mut self,
         kind: GateKind,
@@ -286,22 +288,55 @@ impl Netlist {
         out: NetId,
         name: Option<&str>,
     ) -> CellId {
+        match self.try_add_cell_driving(kind, inputs, out, name) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Netlist::add_cell_driving`]: instead of
+    /// panicking when `out` is already driven (or is a primary input), it
+    /// reports the conflict as a [`NetlistError::MultipleDrivers`] naming
+    /// the net, without modifying the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] when `out` already has a
+    /// driver or is a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match the arity of `kind` —
+    /// that is a caller bug, not a wiring conflict.
+    pub fn try_add_cell_driving(
+        &mut self,
+        kind: GateKind,
+        inputs: Vec<NetId>,
+        out: NetId,
+        name: Option<&str>,
+    ) -> Result<CellId, NetlistError> {
         assert_eq!(
             inputs.len(),
             kind.input_count(),
             "{kind:?} expects {} inputs",
             kind.input_count()
         );
-        assert!(
-            self.nets[out.index()].driver.is_none() && !self.nets[out.index()].is_input,
-            "net {out} already driven"
-        );
+        let info = &self.nets[out.index()];
+        if info.driver.is_some() || info.is_input {
+            return Err(NetlistError::MultipleDrivers {
+                net: out,
+                name: info.name.clone(),
+                cell: info
+                    .driver
+                    .unwrap_or_else(|| CellId::from_index(self.cells.len())),
+            });
+        }
         self.topo = None;
         let id = CellId::from_index(self.cells.len());
         self.cells
             .push(Cell::new(kind, inputs, out, name.map(str::to_owned)));
         self.nets[out.index()].driver = Some(id);
-        id
+        Ok(id)
     }
 
     /// Changes the kind and input connections of an existing cell while
@@ -335,33 +370,24 @@ impl Netlist {
         for (id, cell) in self.cells.iter().enumerate() {
             let id = CellId::from_index(id);
             let out = cell.output().index();
-            if self.nets[out].is_input {
+            if self.nets[out].is_input || seen_driver[out].is_some() {
                 return Err(NetlistError::MultipleDrivers {
                     net: cell.output(),
-                    cell: id,
-                });
-            }
-            if let Some(_prev) = seen_driver[out] {
-                return Err(NetlistError::MultipleDrivers {
-                    net: cell.output(),
+                    name: self.nets[out].name.clone(),
                     cell: id,
                 });
             }
             seen_driver[out] = Some(id);
         }
         for (i, info) in self.nets.iter().enumerate() {
-            let driven = seen_driver[i].is_some();
-            if driven != info.driver.is_some() || (driven && seen_driver[i] != info.driver) {
-                // Keep the cached driver field in sync with reality.
-                // (Reachable only through internal bugs; repair silently.)
-            }
-            if !driven && !info.is_input {
+            if seen_driver[i].is_none() && !info.is_input {
                 return Err(NetlistError::UndrivenNet {
                     net: NetId::from_index(i),
                     name: info.name.clone(),
                 });
             }
         }
+        // Keep the cached driver field in sync with reality.
         for (i, d) in seen_driver.iter().enumerate() {
             self.nets[i].driver = *d;
         }
