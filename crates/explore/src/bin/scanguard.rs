@@ -145,10 +145,12 @@ COMMANDS:
   sweep     cost table across chain counts
               --depth N --width N --code CODE --chains N,N,...
               [--json FILE] [--csv FILE]
-  explore   evaluate the (W, code, wake) design space in parallel
+  explore   evaluate the (W, code, wake) design space in parallel;
+            points the lint gate rejects land in the report's pruned
+            section (see --no-prune)
               --design fifo32x32|datapath8x16|regfile16x8|...
               [--threads N] [--wmin N] [--wmax N] [--trials N]
-              [--out FILE] [--csv FILE]
+              [--test-width N] [--no-prune] [--out FILE] [--csv FILE]
   pareto    Pareto front / knee-point over an explore result
               --in FILE [--objectives area,latency,...]
               [--recommend true] [--weights W,W,...]
@@ -192,7 +194,17 @@ const COMMAND_KEYS: &[(&str, &[&str])] = &[
     ),
     (
         "explore",
-        &["design", "threads", "wmin", "wmax", "trials", "out", "csv"],
+        &[
+            "design",
+            "threads",
+            "wmin",
+            "wmax",
+            "trials",
+            "test-width",
+            "no-prune",
+            "out",
+            "csv",
+        ],
     ),
     ("pareto", &["in", "objectives", "recommend", "weights"]),
     ("validate", &["sequences", "mode"]),
@@ -239,9 +251,9 @@ const COMMAND_KEYS: &[(&str, &[&str])] = &[
 /// Options every command understands (the observability layer).
 const GLOBAL_KEYS: &[&str] = &["log-level", "quiet", "trace", "trace-out", "metrics"];
 
-/// Global options that are flags: the value is optional and defaults
-/// to `true`.
-const FLAG_KEYS: &[&str] = &["quiet", "trace", "metrics"];
+/// Options that are flags: the value is optional and defaults to
+/// `true`.
+const FLAG_KEYS: &[&str] = &["quiet", "trace", "metrics", "no-prune"];
 
 fn command_names() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = COMMAND_KEYS.iter().map(|(c, _)| *c).collect();
@@ -405,6 +417,13 @@ fn cmd_explore(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> 
     spec.w_min = get(opts, "wmin", spec.w_min)?;
     spec.w_max = get(opts, "wmax", spec.w_max)?;
     spec.trials = get(opts, "trials", spec.trials)?;
+    if let Some(tw) = opts.get("test-width") {
+        let tw: usize = tw
+            .parse()
+            .map_err(|_| format!("invalid --test-width {tw:?}"))?;
+        spec.test_width = Some(tw);
+    }
+    spec.prune = !get(opts, "no-prune", false)?;
     let n = spec.enumerate().len();
     obs.rec.info(&format!(
         "exploring {} ({} flops): {} points on {} threads...",
@@ -420,6 +439,24 @@ fn cmd_explore(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> 
         result.cache.misses,
         result.cache.hits
     ));
+    if !result.pruned.is_empty() {
+        println!(
+            "pruned {} of {} points at the build gate:",
+            result.pruned.len(),
+            n
+        );
+        for p in &result.pruned {
+            println!(
+                "  #{:<4} {:<16} W={:<4} {:<14} [{}] {}",
+                p.id,
+                p.code,
+                p.chains,
+                p.wake,
+                p.rules.join("+"),
+                p.detail
+            );
+        }
+    }
     print_front(
         &result,
         &[Objective::AreaOverheadPct, Objective::LatencyNs],

@@ -27,6 +27,10 @@ pub struct BuildKey {
     pub chains: usize,
     /// Code display name (stable per [`scanguard_core::CodeChoice`]).
     pub code: String,
+    /// Manufacturing-test width `T`, when the space requests the test
+    /// mode — the concatenation muxes change the netlist, so builds at
+    /// different widths must not alias.
+    pub test_width: Option<usize>,
 }
 
 /// Cache statistics, reported alongside exploration results.
@@ -110,6 +114,7 @@ mod tests {
             design: "d".into(),
             chains: w,
             code: "c".into(),
+            test_width: None,
         }
     }
 

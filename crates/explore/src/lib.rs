@@ -11,7 +11,10 @@
 //!   group width);
 //! * [`explore`] — evaluate every point's cost/reliability vector on a
 //!   work-stealing scoped-thread pool, memoizing synthesized designs by
-//!   `(design, W, code)` so the wake-strategy variants share one build;
+//!   `(design, W, code, T)` so the wake-strategy variants share one
+//!   build, with the lint registry as a build gate: rejected points
+//!   land in the report's `pruned` section instead of erroring inside
+//!   a worker;
 //! * [`pareto`] — exact multi-objective Pareto fronts over any
 //!   objective subset, plus a weighted knee-point recommendation;
 //! * [`report`] — flat, deterministic JSON/CSV records: the same space
@@ -38,7 +41,7 @@ pub mod worker;
 
 pub use cache::{BuildKey, CacheStats, SynthCache};
 pub use pareto::{front_of, knee_point, Objective, ALL_OBJECTIVES};
-pub use report::{PointResult, SpaceReport};
+pub use report::{PointResult, PrunedPoint, SpaceReport};
 pub use space::{DesignSpec, ExplorePoint, SpaceSpec, WakeSpec};
 pub use worker::run_pool;
 
@@ -46,6 +49,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use scanguard_codes::SequenceCodec;
 use scanguard_core::{break_even, measure_cost, BreakEven, CodeChoice, CostRow, Synthesizer};
+use scanguard_lint::{RuleSet, Severity};
 use scanguard_obs::{arg, Lane, Recorder};
 use scanguard_power::{PowerNetwork, UpsetModel};
 
@@ -71,23 +75,113 @@ fn seed_of(key: &str) -> u64 {
     h
 }
 
-/// Synthesizes and measures one `(design, W, code)` configuration.
+/// Why the build gate rejected a `(design, W, code, T)` configuration
+/// instead of measuring it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildRejection {
+    /// Statically infeasible before synthesis — e.g. the test width
+    /// does not tile the chain count, SG104's Fig. 5(b) invariant.
+    Static {
+        /// IDs of the rules that would fire on such a netlist.
+        rules: Vec<String>,
+        /// Human-readable reason, naming the configuration.
+        detail: String,
+    },
+    /// The synthesizer refused the configuration outright.
+    Synthesis {
+        /// The synthesizer's message, naming the configuration.
+        detail: String,
+    },
+    /// The synthesized design violates Error-severity lint rules.
+    Lint {
+        /// The violated rule IDs, deduplicated, in registry order.
+        rules: Vec<String>,
+        /// The first violation's message, naming the configuration.
+        detail: String,
+    },
+}
+
+impl BuildRejection {
+    /// The rule IDs behind the rejection (empty for raw synthesis
+    /// failures, which carry no rule attribution).
+    #[must_use]
+    pub fn rules(&self) -> &[String] {
+        match self {
+            BuildRejection::Static { rules, .. } | BuildRejection::Lint { rules, .. } => rules,
+            BuildRejection::Synthesis { .. } => &[],
+        }
+    }
+
+    /// The human-readable reason.
+    #[must_use]
+    pub fn detail(&self) -> &str {
+        match self {
+            BuildRejection::Static { detail, .. }
+            | BuildRejection::Synthesis { detail }
+            | BuildRejection::Lint { detail, .. } => detail,
+        }
+    }
+}
+
+/// Synthesizes, lint-gates and measures one `(design, W, code, T)`
+/// configuration.
+///
+/// The gate runs in three stages, cheapest first: a static `T | W`
+/// check (SG104's invariant, caught before any synthesis), the
+/// synthesizer's own validation, and the full lint registry at Error
+/// severity over the built design — so a statically invalid point
+/// costs microseconds, not a synthesis run.
 ///
 /// # Errors
 ///
-/// Returns the synthesizer's message for an infeasible configuration
-/// (the enumerator should have filtered those out).
+/// Returns the stage that rejected the configuration.
 pub fn build_metrics(
     design: &DesignSpec,
     chains: usize,
     code: CodeChoice,
-) -> Result<BuildMetrics, String> {
-    let built = Synthesizer::new(design.netlist())
-        .chains(chains)
-        .code(code)
-        .build()
-        .map_err(|e| format!("{}/W{chains}/{}: {e}", design.label(), code.name()))?;
-    let seed = seed_of(&format!("{}/W{chains}/{}", design.label(), code.name()));
+    test_width: Option<usize>,
+) -> Result<BuildMetrics, BuildRejection> {
+    let tag = format!("{}/W{chains}/{}", design.label(), code.name());
+    if let Some(t) = test_width {
+        if t == 0 || chains % t != 0 {
+            return Err(BuildRejection::Static {
+                rules: vec!["SG104".to_owned()],
+                detail: format!(
+                    "{tag}: test width {t} does not tile the {chains} chains \
+                     (Fig. 5(b) concatenates whole chain groups per test pin)"
+                ),
+            });
+        }
+    }
+    let mut synth = Synthesizer::new(design.netlist()).chains(chains).code(code);
+    if let Some(t) = test_width {
+        synth = synth.test_width(t);
+    }
+    let built = synth.build().map_err(|e| BuildRejection::Synthesis {
+        detail: format!("{tag}: {e}"),
+    })?;
+    let report = built.lint(&RuleSet::all(), None);
+    if report.error_count() > 0 {
+        let mut rules: Vec<String> = Vec::new();
+        let mut first = String::new();
+        for d in report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+        {
+            if first.is_empty() {
+                first.clone_from(&d.message);
+            }
+            if !rules.iter().any(|r| r == d.rule) {
+                rules.push(d.rule.to_owned());
+            }
+        }
+        return Err(BuildRejection::Lint {
+            detail: format!("{tag}: {} lint errors ({first})", report.error_count()),
+            rules,
+        });
+    }
+    let seed = seed_of(&tag);
     let row = measure_cost(&built, seed);
     let be = break_even(&built, &row);
     Ok(BuildMetrics {
@@ -97,8 +191,19 @@ pub fn build_metrics(
     })
 }
 
+/// What one worker produced for one enumerated point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome {
+    /// The point was synthesized, measured and Monte-Carlo evaluated.
+    Evaluated(PointResult),
+    /// The build gate rejected the point before evaluation.
+    Pruned(PrunedPoint),
+}
+
 /// Evaluates one point: the memoized build metrics plus this wake
-/// strategy's transient and Monte-Carlo recovery outcome.
+/// strategy's transient and Monte-Carlo recovery outcome. A point the
+/// build gate rejects comes back as [`PointOutcome::Pruned`] — the
+/// caller decides whether that is a report section or a run failure.
 ///
 /// The recovery model follows the harness's rush ablation: upsets
 /// cluster along the chain-major latch array while codewords run across
@@ -109,21 +214,39 @@ pub fn build_metrics(
 ///
 /// # Errors
 ///
-/// Propagates a build failure, naming the point.
+/// Returns a message only for internal invariant failures (a code
+/// family that cannot produce its block codec); build-gate rejections
+/// are data, not errors.
 pub fn evaluate_point(
     point: &ExplorePoint,
-    cache: &SynthCache<Result<BuildMetrics, String>>,
+    cache: &SynthCache<Result<BuildMetrics, BuildRejection>>,
     trials: u64,
-) -> Result<PointResult, String> {
+    test_width: Option<usize>,
+) -> Result<PointOutcome, String> {
     let build = cache.get_or_build(
         BuildKey {
             design: point.design.label(),
             chains: point.chains,
             code: point.code.name(),
+            test_width,
         },
-        || build_metrics(&point.design, point.chains, point.code),
+        || build_metrics(&point.design, point.chains, point.code, test_width),
     );
-    let metrics = build.as_ref().as_ref().map_err(String::clone)?;
+    let metrics = match build.as_ref() {
+        Ok(metrics) => metrics,
+        Err(rejection) => {
+            return Ok(PointOutcome::Pruned(PrunedPoint {
+                id: point.id,
+                design: point.design.label(),
+                code: point.code.name(),
+                chains: point.chains,
+                wake: point.wake.label(),
+                test_width,
+                rules: rejection.rules().to_vec(),
+                detail: rejection.detail().to_owned(),
+            }))
+        }
+    };
     let chain_len = metrics.row.chain_len;
 
     let network = PowerNetwork::default_120nm();
@@ -172,7 +295,7 @@ pub fn evaluate_point(
     }
     let trials_f = trials.max(1) as f64;
 
-    Ok(PointResult {
+    Ok(PointOutcome::Evaluated(PointResult {
         id: point.id,
         design: point.design.label(),
         code: point.code.name(),
@@ -191,17 +314,20 @@ pub fn evaluate_point(
         upset_prob: upset_events as f64 / trials_f,
         residual_upset_prob: residual_events as f64 / trials_f,
         min_sleep_us: metrics.break_even.min_sleep_us,
-    })
+    }))
 }
 
 /// Explores the whole space on `threads` workers.
 ///
 /// Results are ordered by point id and are a pure function of `spec` —
-/// the thread count changes wall-clock time, nothing else.
+/// the thread count changes wall-clock time, nothing else. Points the
+/// build gate rejects land in the report's `pruned` section when
+/// `spec.prune` is on.
 ///
 /// # Errors
 ///
-/// Returns the first (by point id) build failure.
+/// With `spec.prune` off, the first (by point id) rejected point's
+/// message; otherwise only internal invariant failures.
 pub fn explore(spec: &SpaceSpec, threads: usize) -> Result<SpaceReport, String> {
     explore_obs(spec, threads, None)
 }
@@ -209,10 +335,10 @@ pub fn explore(spec: &SpaceSpec, threads: usize) -> Result<SpaceReport, String> 
 /// [`explore`] with observability: when a [`Recorder`] is supplied,
 /// every design point becomes a span on its worker's lane (code, `W`,
 /// wake model) and the run's totals land in the metrics registry —
-/// `explore.points` plus the synthesis-cache `explore.cache.hits` /
-/// `explore.cache.misses` (all pure functions of `spec`, so the
-/// deterministic snapshot is thread-count-blind). The report itself is
-/// unchanged by observation.
+/// `explore.points`, `explore.pruned` and the synthesis-cache
+/// `explore.cache.hits` / `explore.cache.misses` (all pure functions
+/// of `spec`, so the deterministic snapshot is thread-count-blind).
+/// The report itself is unchanged by observation.
 ///
 /// # Errors
 ///
@@ -224,13 +350,13 @@ pub fn explore_obs(
 ) -> Result<SpaceReport, String> {
     let points = spec.enumerate();
     let ff_count = spec.design.ff_count();
-    let cache: SynthCache<Result<BuildMetrics, String>> = SynthCache::new();
+    let cache: SynthCache<Result<BuildMetrics, BuildRejection>> = SynthCache::new();
     let results = scanguard_par::run_pool_obs(points.len(), threads, obs, |worker, i| {
         let point = &points[i];
         if let Some(rec) = obs {
             rec.begin(Lane::Worker(worker as u32), "point", point.id as u64);
         }
-        let result = evaluate_point(point, &cache, spec.trials);
+        let result = evaluate_point(point, &cache, spec.trials, spec.test_width);
         if let Some(rec) = obs {
             rec.end(
                 Lane::Worker(worker as u32),
@@ -247,18 +373,31 @@ pub fn explore_obs(
         result
     });
     let stats = cache.stats();
+    let outcomes: Vec<PointOutcome> = results.into_iter().collect::<Result<_, String>>()?;
+    let mut evaluated = Vec::new();
+    let mut pruned = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            PointOutcome::Evaluated(p) => evaluated.push(p),
+            PointOutcome::Pruned(p) if spec.prune => pruned.push(p),
+            // Strict mode: the first rejection (outcomes are id-ordered)
+            // fails the run, matching the pre-gate first-error behavior.
+            PointOutcome::Pruned(p) => return Err(p.detail),
+        }
+    }
     if let Some(rec) = obs {
         rec.counter("explore.points").add(points.len() as u64);
+        rec.counter("explore.pruned").add(pruned.len() as u64);
         rec.counter("explore.cache.hits").add(stats.hits as u64);
         rec.counter("explore.cache.misses").add(stats.misses as u64);
     }
-    let evaluated: Result<Vec<PointResult>, String> = results.into_iter().collect();
     Ok(SpaceReport {
         design: spec.design.label(),
         ff_count,
         trials: spec.trials,
         cache: stats,
-        points: evaluated?,
+        points: evaluated,
+        pruned,
     })
 }
 
@@ -278,6 +417,7 @@ mod tests {
         let report = explore(&spec, 2).unwrap();
         assert_eq!(report.points.len(), spec.enumerate().len());
         assert!(!report.points.is_empty());
+        assert!(report.pruned.is_empty(), "clean space must prune nothing");
         for (i, p) in report.points.iter().enumerate() {
             assert_eq!(p.id, i);
             assert!(p.area_um2 > 0.0);

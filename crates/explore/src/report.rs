@@ -112,6 +112,53 @@ impl PointResult {
     }
 }
 
+/// A design point the build gate rejected before evaluation: either
+/// statically infeasible (the test width does not tile the chains),
+/// refused by the synthesizer, or failing the lint registry at Error
+/// severity after synthesis.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PrunedPoint {
+    /// Stable point id — the same enumeration order the evaluated
+    /// points use, so the two sections partition the space.
+    pub id: usize,
+    /// Design label (e.g. `fifo32x32`).
+    pub design: String,
+    /// Code display name.
+    pub code: String,
+    /// Chain count `W`.
+    pub chains: usize,
+    /// Wake-strategy label.
+    pub wake: String,
+    /// Manufacturing-test width `T` the space requested, when any.
+    pub test_width: Option<usize>,
+    /// IDs of the design rules behind the rejection (e.g. `SG104`),
+    /// deduplicated; empty when raw synthesis failed without a rule
+    /// attribution.
+    pub rules: Vec<String>,
+    /// Human-readable reason, naming the point.
+    pub detail: String,
+}
+
+impl PrunedPoint {
+    /// One CSV comment row (the pruned block rides below the data as
+    /// `#`-prefixed lines so plain CSV readers skip it).
+    #[must_use]
+    pub fn csv_row(&self) -> String {
+        format!(
+            "# {},{},\"{}\",{},{},{},{},\"{}\"",
+            self.id,
+            self.design,
+            self.code,
+            self.chains,
+            self.wake,
+            self.test_width
+                .map_or_else(|| "-".to_owned(), |t| t.to_string()),
+            self.rules.join("+"),
+            self.detail
+        )
+    }
+}
+
 /// A full exploration result: the space's identity plus every point.
 ///
 /// Thread count and wall-clock are deliberately absent — the report is
@@ -128,6 +175,9 @@ pub struct SpaceReport {
     pub cache: CacheStats,
     /// Every evaluated point, ordered by id.
     pub points: Vec<PointResult>,
+    /// Every rejected point, ordered by id (empty unless the space's
+    /// prune gate fired).
+    pub pruned: Vec<PrunedPoint>,
 }
 
 impl SpaceReport {
@@ -143,15 +193,25 @@ impl SpaceReport {
 
     /// Parses a report back from [`SpaceReport::to_json`] output.
     ///
+    /// Reports written before the pruning gate existed lack the
+    /// `pruned` member; they decode as having pruned nothing.
+    ///
     /// # Errors
     ///
     /// Returns a parse/shape error message.
     pub fn from_json(doc: &str) -> Result<Self, String> {
-        let value = serde_json::from_str(doc).map_err(|e| format!("parsing report: {e}"))?;
+        let mut value: serde::Value =
+            serde_json::from_str(doc).map_err(|e| format!("parsing report: {e}"))?;
+        if value.as_object().is_some() && value.get("pruned").is_none() {
+            value["pruned"] = serde::Value::Array(Vec::new());
+        }
         serde_json::from_value(&value).map_err(|e| format!("decoding report: {e}"))
     }
 
-    /// Serializes the points as CSV (header + one row per point).
+    /// Serializes the points as CSV (header + one row per point). When
+    /// any point was pruned, a `#`-commented block follows the data;
+    /// for clean spaces the output is byte-identical to the pre-gate
+    /// format.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = PointResult::csv_header();
@@ -159,6 +219,14 @@ impl SpaceReport {
         for p in &self.points {
             out.push_str(&p.csv_row());
             out.push('\n');
+        }
+        if !self.pruned.is_empty() {
+            out.push_str("# pruned\n");
+            out.push_str("# id,design,code,chains,wake,test_width,rules,detail\n");
+            for p in &self.pruned {
+                out.push_str(&p.csv_row());
+                out.push('\n');
+            }
         }
         out
     }
@@ -225,6 +293,20 @@ mod tests {
             trials: 10,
             cache: CacheStats { hits: 0, misses: 1 },
             points: vec![p],
+            pruned: Vec::new(),
+        }
+    }
+
+    fn pruned_entry() -> PrunedPoint {
+        PrunedPoint {
+            id: 7,
+            design: "fifo4x4".into(),
+            code: "CRC-16".into(),
+            chains: 5,
+            wake: "full-bank".into(),
+            test_width: Some(4),
+            rules: vec!["SG104".into()],
+            detail: "test width 4 does not tile the 5 chains".into(),
         }
     }
 
@@ -234,6 +316,39 @@ mod tests {
         let doc = r.to_json().unwrap();
         let back = SpaceReport::from_json(&doc).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn json_round_trips_with_pruned_points() {
+        let mut r = tiny_report();
+        r.pruned.push(pruned_entry());
+        let back = SpaceReport::from_json(&r.to_json().unwrap()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn pre_gate_reports_still_decode() {
+        // A report written before the `pruned` member existed must
+        // decode as having pruned nothing.
+        let r = tiny_report();
+        let mut v: serde::Value = serde_json::from_str(&r.to_json().unwrap()).unwrap();
+        v.as_object_mut().unwrap().retain(|(k, _)| k != "pruned");
+        let legacy = serde_json::to_string_pretty(&v).unwrap();
+        assert!(!legacy.contains("pruned"));
+        let back = SpaceReport::from_json(&legacy).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn csv_pruned_block_appears_only_when_nonempty() {
+        let mut r = tiny_report();
+        let clean = r.to_csv();
+        assert!(!clean.contains("# pruned"));
+        r.pruned.push(pruned_entry());
+        let gated = r.to_csv();
+        assert!(gated.starts_with(&clean), "data section must be unchanged");
+        assert!(gated.contains("# pruned"));
+        assert!(gated.contains("# 7,fifo4x4,\"CRC-16\",5,full-bank,4,SG104,"));
     }
 
     #[test]

@@ -200,6 +200,17 @@ pub struct SpaceSpec {
     pub w_max: usize,
     /// Monte-Carlo wake trials per point (residual-upset estimate).
     pub trials: u64,
+    /// Manufacturing-test I/O width `T` applied to every point, when
+    /// the explored designs should carry the Fig. 5(b) test mode.
+    /// `None` (the default) builds monitor-only designs, as before the
+    /// pruning gate existed.
+    pub test_width: Option<usize>,
+    /// When `true` (the default), points the build gate rejects —
+    /// statically infeasible `(W, T)` pairs, synthesis refusals,
+    /// Error-severity lint findings — land in the report's `pruned`
+    /// section. When `false`, the first rejected point (by id) fails
+    /// the whole run, the pre-gate behavior.
+    pub prune: bool,
 }
 
 impl SpaceSpec {
@@ -223,6 +234,8 @@ impl SpaceSpec {
             w_min: 4,
             w_max: 128,
             trials: 400,
+            test_width: None,
+            prune: true,
         }
     }
 

@@ -1,0 +1,111 @@
+//! Lint-gated pruning: infeasible `(W, code, T)` combinations land in
+//! the report's `pruned` section instead of failing inside a worker,
+//! and the gate is behavior-preserving — a clean space produces the
+//! same points, CSV bytes and Pareto front with the gate on or off,
+//! and a pruning run is byte-identical at any thread count.
+
+use scanguard_explore::{explore, front_of, DesignSpec, Objective, SpaceSpec};
+
+fn spec(test_width: Option<usize>, prune: bool) -> SpaceSpec {
+    let mut spec = SpaceSpec::paper(DesignSpec::Fifo { depth: 4, width: 4 });
+    spec.trials = 10;
+    spec.test_width = test_width;
+    spec.prune = prune;
+    spec
+}
+
+#[test]
+fn clean_space_is_untouched_by_the_prune_gate() {
+    let gated = explore(&spec(None, true), 2).unwrap();
+    let strict = explore(&spec(None, false), 2).unwrap();
+    assert!(gated.pruned.is_empty(), "clean space pruned something");
+    assert_eq!(gated.points, strict.points);
+    assert_eq!(
+        gated.to_csv().as_bytes(),
+        strict.to_csv().as_bytes(),
+        "clean-space CSV must be byte-identical with the gate on or off"
+    );
+    let objectives = [Objective::AreaOverheadPct, Objective::LatencyNs];
+    assert_eq!(
+        front_of(&gated.points, &objectives),
+        front_of(&strict.points, &objectives),
+        "Pareto front shifted"
+    );
+}
+
+#[test]
+fn mismatched_test_width_prunes_exactly_the_offending_points() {
+    // T = 3 over a space whose W axis holds powers of two times small
+    // odd factors: every W with 3 ∤ W must land in `pruned` under
+    // SG104, every W with 3 | W must evaluate normally.
+    let spec = spec(Some(3), true);
+    let all = spec.enumerate();
+    assert!(!all.is_empty());
+    let report = explore(&spec, 2).unwrap();
+    assert_eq!(
+        report.points.len() + report.pruned.len(),
+        all.len(),
+        "the two sections must partition the space"
+    );
+    for point in &all {
+        if point.chains % 3 == 0 {
+            assert!(
+                report.points.iter().any(|p| p.id == point.id),
+                "{} should have been evaluated",
+                point.key()
+            );
+        } else {
+            let p = report
+                .pruned
+                .iter()
+                .find(|p| p.id == point.id)
+                .unwrap_or_else(|| panic!("{} should have been pruned", point.key()));
+            assert_eq!(p.rules, vec!["SG104".to_owned()], "{}", point.key());
+            assert_eq!(p.test_width, Some(3));
+            assert_eq!(p.chains, point.chains);
+            assert!(
+                p.detail.contains("test width 3"),
+                "unhelpful detail: {}",
+                p.detail
+            );
+        }
+    }
+    let expect_pruned = all.iter().filter(|p| p.chains % 3 != 0).count();
+    assert_eq!(report.pruned.len(), expect_pruned);
+    assert!(expect_pruned > 0, "fixture stopped exercising the gate");
+}
+
+#[test]
+fn strict_mode_fails_on_the_first_rejected_point() {
+    let err = explore(&spec(Some(3), false), 2).unwrap_err();
+    assert!(
+        err.contains("test width 3"),
+        "strict mode must surface the rejection: {err}"
+    );
+}
+
+#[test]
+fn pruning_runs_are_thread_count_blind() {
+    let spec = spec(Some(3), true);
+    let sequential = explore(&spec, 1).unwrap();
+    let parallel = explore(&spec, 8).unwrap();
+    assert_eq!(sequential, parallel, "structural mismatch");
+    assert_eq!(
+        sequential.to_json().unwrap().as_bytes(),
+        parallel.to_json().unwrap().as_bytes(),
+        "serialized JSON differs"
+    );
+    assert_eq!(
+        sequential.to_csv().as_bytes(),
+        parallel.to_csv().as_bytes(),
+        "serialized CSV differs"
+    );
+    assert!(sequential.to_csv().contains("# pruned"));
+}
+
+#[test]
+fn report_round_trips_with_a_pruned_section() {
+    let report = explore(&spec(Some(3), true), 2).unwrap();
+    let back = scanguard_explore::SpaceReport::from_json(&report.to_json().unwrap()).unwrap();
+    assert_eq!(report, back);
+}

@@ -62,6 +62,10 @@ pub struct Diagnostic {
     pub net: Option<String>,
     /// A one-line suggestion for repairing the violation.
     pub hint: String,
+    /// A structural witness for path-based findings: cell labels ordered
+    /// source → sink (e.g. the X-propagation trace of SG204). Empty for
+    /// point findings.
+    pub path: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -72,6 +76,9 @@ impl fmt::Display for Diagnostic {
         }
         if let Some(net) = &self.net {
             write!(f, " [net {net}]")?;
+        }
+        if !self.path.is_empty() {
+            write!(f, " [path {}]", self.path.join(" -> "))?;
         }
         write!(f, " — hint: {}", self.hint)
     }
@@ -182,6 +189,7 @@ mod tests {
                 cell: None,
                 net: None,
                 hint: "h".into(),
+                path: Vec::new(),
             }],
         };
         assert!(report.is_clean_at(Severity::Warn));

@@ -48,10 +48,12 @@
 mod context;
 mod diag;
 mod rules;
+mod xprop;
 
 pub use context::{Cone, DesignView, LintContext};
 pub use diag::{Diagnostic, LintReport, Severity};
 pub use rules::{all_rules, rule_ids, Rule, RuleSet, UnknownRule};
+pub use xprop::XPropContext;
 
 use scanguard_netlist::{CellLibrary, Netlist};
 use scanguard_obs::{arg, Lane, Recorder};

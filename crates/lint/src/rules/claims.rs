@@ -61,6 +61,7 @@ impl Rule for FunctionalCriticalPathUnchanged {
                 hint: "monitor logic must attach to scan pins only; keep functional \
                        `d` cones untouched"
                     .into(),
+                path: Vec::new(),
             }];
         }
         Vec::new()
@@ -111,6 +112,7 @@ impl Rule for MonitorOffFunctionalPaths {
                     hint: "always-on logic may feed scan pins (pin 1) only; functional \
                            data paths must stay inside the gated domain"
                         .into(),
+                    path: Vec::new(),
                 });
             }
         }

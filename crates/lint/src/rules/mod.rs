@@ -51,6 +51,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule + Send + Sync>> {
         Box::new(power::DomainCrossingIsolation),
         Box::new(power::MonitorInAlwaysOnDomain),
         Box::new(power::CorrectionFeedbackReachesChains),
+        Box::new(power::StoreXPropagation),
         Box::new(claims::FunctionalCriticalPathUnchanged),
         Box::new(claims::MonitorOffFunctionalPaths),
     ]

@@ -1,7 +1,7 @@
 //! `SG2xx` — power-domain rules: isolation at the gated/always-on
 //! boundary, monitor placement, and correction feedback coverage.
 
-use crate::{Diagnostic, LintContext, Rule, Severity};
+use crate::{Diagnostic, LintContext, Rule, Severity, XPropContext};
 use std::collections::HashSet;
 
 /// SG201: every always-on cell input that crosses from the gated domain
@@ -57,6 +57,7 @@ impl Rule for DomainCrossingIsolation {
                         hint: "route gated->always-on crossings through retention flop \
                                outputs (or add isolation cells)"
                             .into(),
+                        path: Vec::new(),
                     });
                 }
             }
@@ -106,8 +107,77 @@ impl Rule for MonitorInAlwaysOnDomain {
                     hint: "generate monitor hardware only after the gated-domain \
                            watermark is recorded"
                         .into(),
+                    path: Vec::new(),
                 });
             }
+        }
+        out
+    }
+}
+
+/// SG204: no X from the collapsed power domain can reach always-on
+/// state while monitoring is idle. A static 3-valued reachability pass
+/// ([`XPropContext`]) assigns X to every gated-domain output, pins
+/// `mon_en`/`mon_clear` low, propagates through the always-on cone with
+/// exact ternary gate semantics, and then proves every always-on
+/// sequential cell — parity/signature store bits and sequencer state
+/// alike — can only *capture* defined values. A violation carries the
+/// cell-by-cell X path from the gated source to the corrupted flop.
+pub struct StoreXPropagation;
+
+impl Rule for StoreXPropagation {
+    fn id(&self) -> &'static str {
+        "SG204"
+    }
+    fn title(&self) -> &'static str {
+        "store-x-propagation"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn needs_design(&self) -> bool {
+        true
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(view) = ctx.design() else {
+            return Vec::new();
+        };
+        let wm = view.gated_watermark;
+        let xp = XPropContext::build(ctx, wm);
+        let mut out = Vec::new();
+        for (id, cell) in ctx.netlist().cells() {
+            if id.index() < wm || !cell.kind().is_sequential() {
+                continue;
+            }
+            if !xp.capture_set(ctx, id).may_be_x() {
+                continue;
+            }
+            // Name the input pin that can actually carry the X into the
+            // capture, and trace it back to its gated source.
+            let (pin_net, mut path) = match xp.x_input(ctx, id) {
+                Some(pin) => {
+                    let net = cell.inputs()[pin];
+                    (Some(net), xp.witness(ctx, net))
+                }
+                None => (None, Vec::new()),
+            };
+            path.push(ctx.cell_label(id));
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: self.severity(),
+                message: format!(
+                    "always-on flop {} can capture X from the collapsed power \
+                     domain while mon_en is low",
+                    ctx.cell_label(id),
+                ),
+                cell: Some(ctx.cell_label(id)),
+                net: pin_net.map(|n| ctx.net_label(n)),
+                hint: "mask the gated-domain X before always-on state: gate it \
+                       with a pinned-low enable or route it through the scan \
+                       mux (se held low in sleep)"
+                    .into(),
+                path,
+            });
         }
         out
     }
@@ -168,6 +238,7 @@ impl Rule for CorrectionFeedbackReachesChains {
                     hint: "wire the monitor feedback (corrected or buffered scan-out) \
                            into the chain's first scan pin"
                         .into(),
+                    path: Vec::new(),
                 });
             }
         }

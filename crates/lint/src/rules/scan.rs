@@ -42,6 +42,7 @@ impl Rule for ChainMembership {
                         cell: Some(ctx.cell_label(c)),
                         net: None,
                         hint: "scan insertion must morph every chained flop to Sdff/Rsdff".into(),
+                        path: Vec::new(),
                     });
                 }
             }
@@ -62,6 +63,7 @@ impl Rule for ChainMembership {
                     cell: Some(ctx.cell_label(c)),
                     net: None,
                     hint: "each flop must shift through exactly one chain".into(),
+                    path: Vec::new(),
                 });
             }
         }
@@ -78,6 +80,7 @@ impl Rule for ChainMembership {
                     cell: Some(ctx.cell_label(id)),
                     net: None,
                     hint: "stitch the flop into a chain or demote it to a plain Dff".into(),
+                    path: Vec::new(),
                 });
             }
         }
@@ -126,6 +129,7 @@ impl Rule for ChainConnectivity {
                     cell: Some(ctx.cell_label(last)),
                     net: Some(ctx.net_label(chain.so)),
                     hint: "chain metadata and netlist disagree; re-run scan insertion".into(),
+                    path: Vec::new(),
                 });
             }
             for (i, &c) in chain.cells.iter().enumerate() {
@@ -157,6 +161,7 @@ impl Rule for ChainConnectivity {
                         hint: "restitch the chain: the scan pin must trace back to the \
                                previous flop (or the scan-in/feedback for position 0)"
                             .into(),
+                        path: Vec::new(),
                     });
                     break; // One break per chain; downstream errors cascade.
                 }
@@ -204,6 +209,7 @@ impl Rule for ChainBalance {
             cell: None,
             net: None,
             hint: "pad shorter chains with dummy retention flops (Synthesizer does)".into(),
+            path: Vec::new(),
         }]
     }
 }
@@ -244,6 +250,7 @@ impl Rule for TestModeConcatenation {
                 cell: None,
                 net: None,
                 hint: "choose T | W so chains concatenate into whole test chains".into(),
+                path: Vec::new(),
             }];
         }
         // Structure: chain j's first scan pin must trace to chain j-T's
@@ -267,6 +274,7 @@ impl Rule for TestModeConcatenation {
                     cell: Some(ctx.cell_label(first)),
                     net: None,
                     hint: "the concat mux must select chain j-T's so in test mode".into(),
+                    path: Vec::new(),
                 });
             }
         }
@@ -286,6 +294,7 @@ impl Rule for TestModeConcatenation {
                 cell: None,
                 net: None,
                 hint: "regenerate the TestModeConfig after editing chains".into(),
+                path: Vec::new(),
             });
         }
         let total: usize = expect.iter().sum();
@@ -300,6 +309,7 @@ impl Rule for TestModeConcatenation {
                 cell: None,
                 net: None,
                 hint: "every scanned flop must be behind exactly one test pin".into(),
+                path: Vec::new(),
             });
         }
         out

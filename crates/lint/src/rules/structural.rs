@@ -43,6 +43,7 @@ impl Rule for FloatingNet {
                         cell: ctx.consumers(net).first().map(|&c| ctx.cell_label(c)),
                         net: Some(ctx.net_label(net)),
                         hint: "drive the net with a cell or declare it a primary input".into(),
+                        path: Vec::new(),
                     });
                 }
             }
@@ -83,6 +84,7 @@ impl Rule for MultiDrivenNet {
                     cell: Some(ctx.cell_label(drivers[1])),
                     net: Some(ctx.net_label(net)),
                     hint: "keep exactly one driver per net; mux or gate the sources".into(),
+                    path: Vec::new(),
                 });
             } else if ctx.is_input_port(net) && !drivers.is_empty() {
                 out.push(Diagnostic {
@@ -96,6 +98,7 @@ impl Rule for MultiDrivenNet {
                     cell: Some(ctx.cell_label(drivers[0])),
                     net: Some(ctx.net_label(net)),
                     hint: "an input port must not have an internal driver".into(),
+                    path: Vec::new(),
                 });
             }
         }
@@ -129,6 +132,7 @@ impl Rule for UnobservableCell {
                     cell: Some(ctx.cell_label(id)),
                     net: Some(ctx.net_label(net)),
                     hint: "remove the dead cell or export/consume its output".into(),
+                    path: Vec::new(),
                 });
             }
         }
@@ -163,6 +167,7 @@ impl Rule for CombinationalLoop {
                 cell: Some(ctx.cell_label(stuck[0])),
                 net: None,
                 hint: "break the cycle with a flip-flop or re-route the feedback".into(),
+                path: Vec::new(),
             }],
         }
     }
@@ -194,6 +199,7 @@ impl Rule for UnusedInputPort {
                     cell: None,
                     net: Some(ctx.net_label(*net)),
                     hint: "drop the port, or wire it where it was meant to go".into(),
+                    path: Vec::new(),
                 });
             }
         }

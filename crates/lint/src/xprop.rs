@@ -1,0 +1,274 @@
+//! Static 3-valued X-propagation analysis over the always-on cone.
+//!
+//! The paper's monitor is only trustworthy if the unknown state of a
+//! collapsed power domain can never leak into it while monitoring is
+//! idle. This module answers that question *statically*: every net is
+//! assigned a [`LogicSet`] — the set of levels it can take while the
+//! gated domain is powered off and `mon_en` is held low — and the sets
+//! are propagated through the always-on combinational cone with the
+//! exact ternary gate semantics of the simulator ([`GateKind::eval_set`]
+//! is the image of `eval` over the input sets, so controlling values
+//! kill X and a mux with a defined select passes only the selected arm).
+//!
+//! The abstraction mirrors the simulator's power model:
+//!
+//! * every cell below the gated watermark — sequential *and*
+//!   combinational — outputs X when the domain rail is down;
+//! * `mon_en` and `mon_clear` are pinned to 0 (monitoring idle), all
+//!   other primary inputs range over `{0, 1}`;
+//! * always-on sequential outputs are assumed defined (`{0, 1}`) — the
+//!   inductive hypothesis that rule SG204 then discharges by proving
+//!   every always-on flop *captures* a defined value, so no X ever
+//!   enters always-on state in the first place.
+//!
+//! Propagation runs as a chaotic-iteration fixpoint (sets only grow and
+//! `eval_set` is monotone, so it terminates), which keeps the analysis
+//! robust on broken or cyclic netlists: nets still empty at the fixpoint
+//! (floating inputs, combinational loops) conservatively read as
+//! "any level, including X".
+
+use crate::LintContext;
+use scanguard_netlist::{CellId, Logic, LogicSet, NetId};
+use std::collections::HashSet;
+
+/// Input-port names pinned low during the analysis: the domain is
+/// asleep and the monitor idle, the very window SG204 reasons about.
+const PINNED_LOW_PORTS: [&str; 2] = ["mon_en", "mon_clear"];
+
+/// The per-net result of the static X-propagation pass.
+#[derive(Debug, Clone)]
+pub struct XPropContext {
+    nets: Vec<LogicSet>,
+    watermark: usize,
+}
+
+impl XPropContext {
+    /// Runs the analysis. Cells with index below `gated_watermark` are
+    /// in the collapsed power domain and source X; everything at or
+    /// above it is always-on.
+    #[must_use]
+    pub fn build(ctx: &LintContext<'_>, gated_watermark: usize) -> Self {
+        let nl = ctx.netlist();
+        let mut nets = vec![LogicSet::EMPTY; nl.net_count()];
+        for (name, net) in nl.input_ports() {
+            nets[net.index()] = if PINNED_LOW_PORTS.contains(&name.as_str()) {
+                LogicSet::ZERO
+            } else {
+                LogicSet::KNOWN
+            };
+        }
+        for (id, cell) in nl.cells() {
+            let out = cell.output().index();
+            if id.index() < gated_watermark {
+                // The simulator reports X for *every* cell of a
+                // powered-off domain, tie cells and gates included.
+                nets[out] = nets[out].union(LogicSet::X);
+            } else if cell.kind().is_sequential() {
+                // Inductive hypothesis: always-on state is defined.
+                nets[out] = nets[out].union(LogicSet::KNOWN);
+            }
+        }
+        let mut xp = XPropContext {
+            nets,
+            watermark: gated_watermark,
+        };
+        // Chaotic iteration to a fixpoint. Cells are created in rough
+        // dataflow order, so an index-order sweep converges in a couple
+        // of passes; each net can only widen at most twice, bounding
+        // the loop even on adversarial netlists.
+        loop {
+            let mut changed = false;
+            for (id, cell) in nl.cells() {
+                if id.index() < gated_watermark || cell.kind().is_sequential() {
+                    continue;
+                }
+                let ins: Vec<LogicSet> = cell.inputs().iter().map(|n| xp.nets[n.index()]).collect();
+                let new = cell.kind().eval_set(&ins);
+                let out = cell.output().index();
+                let merged = xp.nets[out].union(new);
+                if merged != xp.nets[out] {
+                    xp.nets[out] = merged;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        xp
+    }
+
+    /// The levels `net` can take while the gated domain is collapsed
+    /// and `mon_en` is low. Nets the fixpoint never reached (floating
+    /// inputs, combinational loops) conservatively report
+    /// [`LogicSet::ANY`].
+    #[must_use]
+    pub fn net_set(&self, net: NetId) -> LogicSet {
+        let s = self.nets[net.index()];
+        if s.is_empty() {
+            LogicSet::ANY
+        } else {
+            s
+        }
+    }
+
+    /// The values `cell` can *capture* at a clock edge: its kind's
+    /// ternary evaluation over the input-net sets. For scan flops this
+    /// respects the internal `se` mux, so a pinned-low scan enable
+    /// provably masks an X-carrying scan-in.
+    #[must_use]
+    pub fn capture_set(&self, ctx: &LintContext<'_>, cell: CellId) -> LogicSet {
+        let c = ctx.netlist().cell(cell);
+        let ins: Vec<LogicSet> = c.inputs().iter().map(|&n| self.net_set(n)).collect();
+        c.kind().eval_set(&ins)
+    }
+
+    /// Picks an input pin of `cell` that can actually drive its output
+    /// (or, for flops, its capture value) to X: a pin holding X in some
+    /// concrete input combination that evaluates to X. `None` when no
+    /// such combination exists.
+    #[must_use]
+    pub fn x_input(&self, ctx: &LintContext<'_>, cell: CellId) -> Option<usize> {
+        let c = ctx.netlist().cell(cell);
+        let kind = c.kind();
+        let n = c.inputs().len();
+        let sets: Vec<LogicSet> = c.inputs().iter().map(|&i| self.net_set(i)).collect();
+        let mut combo = [Logic::Zero; 3];
+        for idx in 0..3usize.pow(n as u32) {
+            let mut rem = idx;
+            let mut live = true;
+            for pin in 0..n {
+                let level = Logic::ALL[rem % 3];
+                rem /= 3;
+                if !sets[pin].contains(level) {
+                    live = false;
+                    break;
+                }
+                combo[pin] = level;
+            }
+            if live && kind.eval(&combo[..n]) == Logic::X {
+                if let Some(pin) = (0..n).find(|&p| combo[p] == Logic::X) {
+                    return Some(pin);
+                }
+            }
+        }
+        None
+    }
+
+    /// Walks an X-carrying net backwards to its source, one responsible
+    /// cell per hop, and returns the cell labels ordered source →
+    /// consumer. The walk stops at the gated domain (the X origin), at
+    /// sequential cells, and on revisits (cycles).
+    #[must_use]
+    pub fn witness(&self, ctx: &LintContext<'_>, start: NetId) -> Vec<String> {
+        let nl = ctx.netlist();
+        let mut path = Vec::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut net = start;
+        loop {
+            if !seen.insert(net.index()) {
+                break;
+            }
+            let Some(&d) = ctx.drivers(net).first() else {
+                path.push(format!("floating net {}", ctx.net_label(net)));
+                break;
+            };
+            path.push(ctx.cell_label(d));
+            let cell = nl.cell(d);
+            if d.index() < self.watermark || cell.kind().is_sequential() {
+                break; // the gated domain (or stored state) is the source
+            }
+            match self.x_input(ctx, d) {
+                Some(pin) => net = cell.inputs()[pin],
+                None => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanguard_netlist::{CellLibrary, GateKind, NetlistBuilder};
+
+    #[test]
+    fn controlling_and_kills_gated_x_but_xor_passes_it() {
+        let mut b = NetlistBuilder::new("t");
+        let d = b.input("d");
+        let (gq, _) = b.dff("gated_ff", d); // below the watermark
+        let tie = b.tie_lo();
+        let killed = b.and2(gq, tie);
+        let leaked = b.xor2(gq, d);
+        b.output("killed", killed);
+        b.output("leaked", leaked);
+        let nl = b.finish().unwrap();
+        let lib = CellLibrary::st120nm();
+        let ctx = LintContext::new(&nl, &lib);
+        // Watermark after the flop: the flop is gated, the gates are not.
+        // Cell order: dff, tie, and, xor → watermark 1.
+        let xp = XPropContext::build(&ctx, 1);
+        assert_eq!(xp.net_set(gq), LogicSet::X);
+        assert_eq!(xp.net_set(killed), LogicSet::ZERO, "AND-0 masks the X");
+        assert!(xp.net_set(leaked).may_be_x(), "XOR propagates the X");
+    }
+
+    #[test]
+    fn pinned_ports_and_mux_select_semantics() {
+        let mut b = NetlistBuilder::new("t");
+        let en = b.input("mon_en");
+        let d = b.input("d");
+        let (gq, _) = b.dff("gated_ff", d);
+        let (m, mux_cell) = b.named_cell("pick", GateKind::Mux2, vec![en, d, gq]);
+        b.output("m", m);
+        let nl = b.finish().unwrap();
+        let lib = CellLibrary::st120nm();
+        let ctx = LintContext::new(&nl, &lib);
+        let xp = XPropContext::build(&ctx, 1);
+        assert_eq!(xp.net_set(en), LogicSet::ZERO, "mon_en is pinned low");
+        // sel=0 selects the defined arm; the X arm is dead.
+        assert_eq!(xp.net_set(m), LogicSet::KNOWN);
+        assert_eq!(xp.x_input(&ctx, mux_cell), None, "no combo reaches X");
+    }
+
+    #[test]
+    fn witness_traces_back_to_the_gated_source() {
+        let mut b = NetlistBuilder::new("t");
+        let d = b.input("d");
+        let (gq, gated) = b.dff("gated_ff", d);
+        let (inv, inv_cell) = b.named_cell("inv", GateKind::Not, vec![gq]);
+        let (leak, leak_cell) = b.named_cell("leak", GateKind::Xor2, vec![inv, d]);
+        b.output("y", leak);
+        let nl = b.finish().unwrap();
+        let lib = CellLibrary::st120nm();
+        let ctx = LintContext::new(&nl, &lib);
+        let xp = XPropContext::build(&ctx, 1);
+        assert!(xp.net_set(leak).may_be_x());
+        let path = xp.witness(&ctx, leak);
+        assert_eq!(
+            path,
+            vec![
+                ctx.cell_label(gated),
+                ctx.cell_label(inv_cell),
+                ctx.cell_label(leak_cell),
+            ],
+            "path runs source → consumer"
+        );
+    }
+
+    #[test]
+    fn unreached_nets_read_conservatively() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let (x, and_cell) = b.named_cell("g_and", GateKind::And2, vec![a, a]);
+        let (y, _) = b.named_cell("g_not", GateKind::Not, vec![x]);
+        b.output("y", y);
+        let mut nl = b.finish().unwrap();
+        nl.set_cell_input(and_cell, 1, y); // combinational loop
+        let lib = CellLibrary::st120nm();
+        let ctx = LintContext::new(&nl, &lib);
+        let xp = XPropContext::build(&ctx, 0);
+        assert_eq!(xp.net_set(y), LogicSet::ANY, "cyclic nets stay unknown");
+    }
+}

@@ -72,6 +72,36 @@ fn protected_designs_are_error_clean_for_every_code_family() {
 }
 
 #[test]
+fn sg204_is_clean_on_every_built_in_design_and_code_family() {
+    // The X-propagation rule must prove every shipped monitor immune to
+    // gated-domain collapse: all built-in generators × all four code
+    // families, no SG204 finding anywhere.
+    let codes: Vec<(&str, CodeChoice)> = vec![
+        ("hamming7_4", CodeChoice::hamming7_4()),
+        ("secded", CodeChoice::ExtendedHamming { m: 3 }),
+        ("crc16", CodeChoice::crc16()),
+        ("parity", CodeChoice::Parity { group_width: 4 }),
+    ];
+    let rules = RuleSet::select(&["SG204"]).expect("SG204 is registered");
+    for (name, nl) in raw_designs() {
+        for (code_name, code) in &codes {
+            let design = Synthesizer::new(nl.clone())
+                .chains(8)
+                .code(*code)
+                .test_width(4)
+                .build()
+                .unwrap_or_else(|e| panic!("{name}/{code_name}: build failed: {e}"));
+            let report = design.lint(&rules, None);
+            assert_eq!(
+                report.error_count(),
+                0,
+                "{name}/{code_name} leaks X into always-on state:\n{report}"
+            );
+        }
+    }
+}
+
+#[test]
 fn build_linted_accepts_all_built_in_protected_designs() {
     for (name, nl) in [
         ("fifo8x8", Fifo::generate(8, 8).netlist),

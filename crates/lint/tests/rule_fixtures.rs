@@ -8,7 +8,7 @@
 use scanguard_core::{CodeChoice, ProtectedDesign, Synthesizer};
 use scanguard_designs::Fifo;
 use scanguard_lint::{lint_design, lint_netlist, DesignView, LintReport, RuleSet, Severity};
-use scanguard_netlist::{CellLibrary, GateKind, Netlist, NetlistBuilder};
+use scanguard_netlist::{CellId, CellLibrary, GateKind, Netlist, NetlistBuilder};
 
 fn protected() -> ProtectedDesign {
     Synthesizer::new(Fifo::generate(8, 8).netlist)
@@ -283,6 +283,90 @@ fn sg203_fires_when_a_chain_bypasses_the_monitor() {
     );
     assert_fires(&report, "SG203");
     assert!(report.diagnostics[0].message.contains("chain 0"));
+}
+
+/// A gated flop's q and an always-on parity-store row (store rows are
+/// the only always-on `Sdff`s in a Hamming monitor).
+fn gated_q_and_store_row(design: &ProtectedDesign) -> (scanguard_netlist::NetId, String, CellId) {
+    let wm = design.gated_watermark;
+    let (gated_q, gated_name) = design
+        .netlist
+        .cells()
+        .find(|(id, c)| id.index() < wm && c.kind().is_sequential())
+        .map(|(_, c)| (c.output(), c.name().unwrap_or("?").to_owned()))
+        .expect("fifo has gated flops");
+    let store = design
+        .netlist
+        .cells()
+        .find(|(id, c)| id.index() >= wm && c.kind() == GateKind::Sdff)
+        .map(|(id, _)| id)
+        .expect("monitor has store rows");
+    (gated_q, gated_name, store)
+}
+
+#[test]
+fn sg204_fires_on_a_gated_bypass_into_the_parity_store() {
+    let design = protected();
+    assert_eq!(
+        lint_with(&design, design.lint_view(), "SG204").error_count(),
+        0
+    );
+    // Sabotage: wire a gated flop's q straight onto a store row's d pin
+    // — the bypass path the always-on store must never have.
+    let (gated_q, gated_name, store) = gated_q_and_store_row(&design);
+    let mut nl = design.netlist.clone();
+    nl.set_cell_input(store, 0, gated_q);
+    let report = lint_design(
+        &nl,
+        &design.library,
+        design.lint_view(),
+        &only("SG204"),
+        None,
+    );
+    assert_fires(&report, "SG204");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "SG204")
+        .unwrap();
+    assert!(d.message.contains("capture X"));
+    // The witness runs gated source → corrupted store bit.
+    assert!(d.path.len() >= 2, "path must name source and sink: {d}");
+    assert!(
+        d.path[0].contains(&gated_name),
+        "path starts at the gated flop: {d}"
+    );
+    assert_eq!(d.path.last(), d.cell.as_ref(), "path ends at the store bit");
+}
+
+#[test]
+fn sg204_fires_when_a_store_scan_enable_comes_from_the_gated_domain() {
+    let design = protected();
+    // Sabotage: rewire a store row's se pin (the select of its internal
+    // capture mux) from mon_en to a gated flop's q. With an X select
+    // and disagreeing arms the capture goes X — the
+    // mux-select-from-gated-domain variant.
+    let (gated_q, gated_name, store) = gated_q_and_store_row(&design);
+    let mut nl = design.netlist.clone();
+    nl.set_cell_input(store, 2, gated_q);
+    let report = lint_design(
+        &nl,
+        &design.library,
+        design.lint_view(),
+        &only("SG204"),
+        None,
+    );
+    assert_fires(&report, "SG204");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "SG204")
+        .unwrap();
+    assert!(
+        d.path.iter().any(|p| p.contains(&gated_name)),
+        "witness names the gated select source: {d}"
+    );
+    assert_eq!(d.path.last(), d.cell.as_ref(), "path ends at the store bit");
 }
 
 #[test]

@@ -6,7 +6,7 @@
 //! the cells used by the paper's methodology (scan-enabled retention
 //! registers, XOR parity trees, mode muxes).
 
-use crate::Logic;
+use crate::{Logic, LogicSet};
 
 /// The primitive kinds a [`Cell`](crate::Cell) can instantiate.
 ///
@@ -163,6 +163,57 @@ impl GateKind {
         }
     }
 
+    /// Evaluates the kind over *sets* of possible input levels.
+    ///
+    /// The result is the exact image of [`Self::eval`] over the cross
+    /// product of the input sets, so it is sound and precise by
+    /// construction: a level is in the output iff some combination of
+    /// possible inputs produces it. Controlling values fall out for free
+    /// (`{0} & {x} = {0}`, a mux with a defined select passes only the
+    /// selected arm). Any empty input set yields [`LogicSet::EMPTY`].
+    ///
+    /// With at most 3 input pins this enumerates at most 27 combinations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Self::input_count`], like
+    /// [`Self::eval`].
+    #[must_use]
+    pub fn eval_set(self, inputs: &[LogicSet]) -> LogicSet {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "{self:?} expects {} inputs, got {}",
+            self.input_count(),
+            inputs.len()
+        );
+        if inputs.iter().any(|s| s.is_empty()) {
+            return LogicSet::EMPTY;
+        }
+        let mut out = LogicSet::EMPTY;
+        let mut combo = [Logic::Zero; 3];
+        let n = inputs.len();
+        // Cross product over up to 3 ternary pins (\u{2264} 27 combos).
+        let total: usize = 3usize.pow(n as u32);
+        for idx in 0..total {
+            let mut rem = idx;
+            let mut live = true;
+            for pin in 0..n {
+                let level = Logic::ALL[rem % 3];
+                rem /= 3;
+                if !inputs[pin].contains(level) {
+                    live = false;
+                    break;
+                }
+                combo[pin] = level;
+            }
+            if live {
+                out = out.union(LogicSet::singleton(self.eval(&combo[..n])));
+            }
+        }
+        out
+    }
+
     /// Short library-style cell name (e.g. `"ND2"`), used in reports.
     #[must_use]
     pub fn cell_name(self) -> &'static str {
@@ -242,6 +293,106 @@ mod tests {
         assert!(GateKind::Rdff.is_retention());
         assert!(!GateKind::Rdff.is_scan());
         assert!(!GateKind::Xor2.is_sequential());
+    }
+
+    #[test]
+    fn eval_set_singletons_agree_with_eval_exhaustively() {
+        // For every kind and every concrete input combination, evaluating
+        // the singleton sets must produce exactly the singleton of eval's
+        // answer — the set evaluator is a strict generalization.
+        for kind in GateKind::ALL {
+            let n = kind.input_count();
+            let total: usize = 3usize.pow(n as u32);
+            for idx in 0..total {
+                let mut rem = idx;
+                let mut concrete = Vec::with_capacity(n);
+                for _ in 0..n {
+                    concrete.push(Logic::ALL[rem % 3]);
+                    rem /= 3;
+                }
+                let sets: Vec<LogicSet> =
+                    concrete.iter().map(|&l| LogicSet::singleton(l)).collect();
+                assert_eq!(
+                    kind.eval_set(&sets),
+                    LogicSet::singleton(kind.eval(&concrete)),
+                    "{kind:?} on {concrete:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_set_is_sound_and_monotone() {
+        // Soundness: every concrete outcome of member inputs is in the
+        // set outcome. Tested over all pairs of non-empty input sets for
+        // the 2-input kinds, with members enumerated directly.
+        let all_sets: Vec<LogicSet> = (1usize..8)
+            .map(|mask| {
+                let mut s = LogicSet::EMPTY;
+                for (bit, l) in Logic::ALL.into_iter().enumerate() {
+                    if mask & (1 << bit) != 0 {
+                        s = s.union(LogicSet::singleton(l));
+                    }
+                }
+                s
+            })
+            .collect();
+        for kind in [
+            GateKind::And2,
+            GateKind::Or2,
+            GateKind::Xor2,
+            GateKind::Nand2,
+        ] {
+            for &sa in &all_sets {
+                for &sb in &all_sets {
+                    let out = kind.eval_set(&[sa, sb]);
+                    for a in sa.iter() {
+                        for b in sb.iter() {
+                            assert!(
+                                out.contains(kind.eval(&[a, b])),
+                                "{kind:?}: {a}∈{sa}, {b}∈{sb} but {} ∉ {out}",
+                                kind.eval(&[a, b])
+                            );
+                        }
+                    }
+                    // Monotone: widening an input can only widen the output.
+                    let wide = kind.eval_set(&[sa.union(LogicSet::X), sb]);
+                    assert!(out.subset_of(wide), "{kind:?} not monotone");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_set_controlling_values_kill_x() {
+        // The properties SG204 leans on: a controlling input hides X.
+        assert_eq!(
+            GateKind::And2.eval_set(&[LogicSet::ZERO, LogicSet::X]),
+            LogicSet::ZERO
+        );
+        assert_eq!(
+            GateKind::Or2.eval_set(&[LogicSet::ONE, LogicSet::X]),
+            LogicSet::ONE
+        );
+        // A mux with a defined select passes only the selected arm.
+        assert_eq!(
+            GateKind::Mux2.eval_set(&[LogicSet::ZERO, LogicSet::KNOWN, LogicSet::X]),
+            LogicSet::KNOWN
+        );
+        // A scan flop with se pinned low captures d, never si.
+        assert_eq!(
+            GateKind::Sdff.eval_set(&[LogicSet::ONE, LogicSet::X, LogicSet::ZERO]),
+            LogicSet::ONE
+        );
+        // XOR is strict: X poisons regardless of the other side.
+        assert!(GateKind::Xor2
+            .eval_set(&[LogicSet::KNOWN, LogicSet::X])
+            .may_be_x());
+        // Empty propagates.
+        assert_eq!(
+            GateKind::And2.eval_set(&[LogicSet::EMPTY, LogicSet::ANY]),
+            LogicSet::EMPTY
+        );
     }
 
     #[test]

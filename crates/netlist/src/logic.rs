@@ -85,6 +85,117 @@ impl Logic {
     }
 }
 
+/// A set of possible [`Logic`] levels, represented as a 3-bit mask.
+///
+/// This is the abstract domain of the static X-propagation analysis in
+/// `scanguard-lint`: instead of one concrete level per net, the analysis
+/// tracks *which* levels a net can take. The empty set means "no
+/// information yet" (an unprocessed or floating net); the full set is
+/// total uncertainty.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_netlist::{Logic, LogicSet};
+///
+/// let s = LogicSet::KNOWN; // {0, 1}
+/// assert!(s.contains(Logic::Zero));
+/// assert!(!s.may_be_x());
+/// assert_eq!(s.union(LogicSet::X), LogicSet::ANY);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LogicSet(u8);
+
+impl LogicSet {
+    /// The empty set (no possible value recorded yet).
+    pub const EMPTY: LogicSet = LogicSet(0);
+    /// Exactly `{0}`.
+    pub const ZERO: LogicSet = LogicSet(1);
+    /// Exactly `{1}`.
+    pub const ONE: LogicSet = LogicSet(2);
+    /// Exactly `{X}`.
+    pub const X: LogicSet = LogicSet(4);
+    /// `{0, 1}` — a driven, defined net of unknown polarity.
+    pub const KNOWN: LogicSet = LogicSet(3);
+    /// `{0, 1, X}` — total uncertainty.
+    pub const ANY: LogicSet = LogicSet(7);
+
+    fn bit(level: Logic) -> u8 {
+        match level {
+            Logic::Zero => 1,
+            Logic::One => 2,
+            Logic::X => 4,
+        }
+    }
+
+    /// The singleton set `{level}`.
+    #[must_use]
+    pub fn singleton(level: Logic) -> LogicSet {
+        LogicSet(Self::bit(level))
+    }
+
+    /// `true` when `level` is a possible value.
+    #[must_use]
+    pub fn contains(self, level: Logic) -> bool {
+        self.0 & Self::bit(level) != 0
+    }
+
+    /// `true` when no value has been recorded.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` when [`Logic::X`] is a possible value — the question the
+    /// X-propagation rule asks of every capture input.
+    #[must_use]
+    pub fn may_be_x(self) -> bool {
+        self.contains(Logic::X)
+    }
+
+    /// Set union (join of the abstract domain).
+    #[must_use]
+    pub fn union(self, other: LogicSet) -> LogicSet {
+        LogicSet(self.0 | other.0)
+    }
+
+    /// `true` when every value of `self` is also in `other`.
+    #[must_use]
+    pub fn subset_of(self, other: LogicSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates the members in [`Logic::ALL`] order.
+    pub fn iter(self) -> impl Iterator<Item = Logic> {
+        Logic::ALL.into_iter().filter(move |&l| self.contains(l))
+    }
+
+    /// Number of possible values.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+}
+
+impl From<Logic> for LogicSet {
+    fn from(level: Logic) -> Self {
+        LogicSet::singleton(level)
+    }
+}
+
+impl fmt::Display for LogicSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, l) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
 impl From<bool> for Logic {
     fn from(b: bool) -> Self {
         if b {
@@ -227,6 +338,29 @@ mod tests {
         assert_eq!(Logic::mux(X, One, One), One);
         assert_eq!(Logic::mux(X, One, Zero), X);
         assert_eq!(Logic::mux(X, X, X), X);
+    }
+
+    #[test]
+    fn logic_set_membership_and_union() {
+        assert!(LogicSet::EMPTY.is_empty());
+        assert_eq!(LogicSet::EMPTY.len(), 0);
+        assert_eq!(LogicSet::KNOWN, LogicSet::ZERO.union(LogicSet::ONE));
+        assert_eq!(LogicSet::ANY, LogicSet::KNOWN.union(LogicSet::X));
+        assert!(LogicSet::ANY.may_be_x());
+        assert!(!LogicSet::KNOWN.may_be_x());
+        assert!(LogicSet::ZERO.subset_of(LogicSet::KNOWN));
+        assert!(!LogicSet::X.subset_of(LogicSet::KNOWN));
+        for l in Logic::ALL {
+            assert!(LogicSet::singleton(l).contains(l));
+            assert_eq!(LogicSet::singleton(l).len(), 1);
+            assert_eq!(LogicSet::from(l), LogicSet::singleton(l));
+        }
+        assert_eq!(
+            LogicSet::ANY.iter().collect::<Vec<_>>(),
+            vec![Logic::Zero, Logic::One, Logic::X]
+        );
+        assert_eq!(LogicSet::KNOWN.to_string(), "{0,1}");
+        assert_eq!(LogicSet::X.to_string(), "{x}");
     }
 
     #[test]
