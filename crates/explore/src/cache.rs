@@ -7,16 +7,23 @@
 //! the configuration that actually determines the netlist, so a space
 //! with three wake strategies does a third of the naive build count.
 //!
-//! Concurrency: the map hands out one `Arc<OnceLock>` cell per key;
-//! [`std::sync::OnceLock::get_or_init`] guarantees exactly one builder
-//! runs per key while concurrent lookups for the same key block until
-//! the value lands. Hit/miss counts are therefore deterministic
-//! (misses = unique keys touched), which the byte-identical-output
-//! guarantee relies on.
+//! Concurrency: the map hands out one slot per key; the slot's own
+//! `Building` state guarantees exactly one builder runs per key while
+//! concurrent lookups for the same key block until the value lands.
+//! Hit/miss counts are therefore deterministic (misses = unique keys
+//! touched), which the byte-identical-output guarantee relies on.
+//!
+//! Panic safety: a builder that panics does **not** wedge its key. The
+//! slot returns to `Empty`, blocked waiters wake and retry (one of them
+//! becomes the next builder), and [`SynthCache::try_get_or_build`]
+//! reports the panic as an error — the contract a long-running daemon
+//! needs, where one poisoned request must not take every later request
+//! for the same configuration down with it.
 
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Identity of a synthesized build (wake strategy excluded on purpose).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -33,6 +40,19 @@ pub struct BuildKey {
     pub test_width: Option<usize>,
 }
 
+impl BuildKey {
+    /// The canonical content string this key addresses: what the
+    /// persistent store hashes (together with its version salt) to name
+    /// the entry on disk.
+    #[must_use]
+    pub fn content(&self) -> String {
+        match self.test_width {
+            Some(t) => format!("{}/W{}/{}/T{t}", self.design, self.chains, self.code),
+            None => format!("{}/W{}/{}/T-", self.design, self.chains, self.code),
+        }
+    }
+}
+
 /// Cache statistics, reported alongside exploration results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
@@ -42,11 +62,53 @@ pub struct CacheStats {
     pub misses: usize,
 }
 
+/// A build attempt panicked. The slot it was filling is back to empty
+/// and the next lookup for the same key will retry the build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildPanic {
+    /// The panic payload, rendered (`&str`/`String` payloads verbatim,
+    /// anything else as a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for BuildPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "builder panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for BuildPanic {}
+
+/// One key's slot: `Empty` (no build yet, or the last attempt
+/// panicked), `Building` (exactly one builder is running), or `Ready`.
+#[derive(Debug)]
+enum SlotState<T> {
+    Empty,
+    Building,
+    Ready(Arc<T>),
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    state: Mutex<SlotState<T>>,
+    changed: Condvar,
+}
+
+impl<T> Default for Slot<T> {
+    fn default() -> Self {
+        Slot {
+            state: Mutex::new(SlotState::Empty),
+            changed: Condvar::new(),
+        }
+    }
+}
+
 /// A concurrent, memoizing build cache.
 pub struct SynthCache<T> {
-    cells: Mutex<HashMap<BuildKey, Arc<OnceLock<Arc<T>>>>>,
+    cells: Mutex<HashMap<BuildKey, Arc<Slot<T>>>>,
     builds: AtomicUsize,
     lookups: AtomicUsize,
+    panicked: AtomicUsize,
 }
 
 impl<T> std::fmt::Debug for SynthCache<T> {
@@ -63,6 +125,7 @@ impl<T> Default for SynthCache<T> {
             cells: Mutex::new(HashMap::new()),
             builds: AtomicUsize::new(0),
             lookups: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
         }
     }
 }
@@ -80,28 +143,120 @@ impl<T> SynthCache<T> {
     ///
     /// # Panics
     ///
-    /// Propagates a poisoned map lock (a builder panicked).
+    /// Re-raises a builder panic — but the slot stays retryable: a
+    /// later lookup for the same key runs a fresh build instead of
+    /// wedging (see [`try_get_or_build`](Self::try_get_or_build) for
+    /// the error-returning form).
     pub fn get_or_build<F: FnOnce() -> T>(&self, key: BuildKey, build: F) -> Arc<T> {
+        match self.try_get_or_build(key, build) {
+            Ok(v) => v,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// [`get_or_build`](Self::get_or_build), with builder panics
+    /// converted to an error instead of unwinding. On `Err` the slot is
+    /// back to empty, so the key stays retryable; waiters blocked on
+    /// the panicked build wake and retry (one becomes the new builder).
+    ///
+    /// # Errors
+    ///
+    /// [`BuildPanic`] when `build` panicked.
+    pub fn try_get_or_build<F: FnOnce() -> T>(
+        &self,
+        key: BuildKey,
+        build: F,
+    ) -> Result<Arc<T>, BuildPanic> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        let cell = {
+        let slot = {
             let mut map = self.cells.lock().expect("cache lock");
             Arc::clone(map.entry(key).or_default())
         };
-        Arc::clone(cell.get_or_init(|| {
-            self.builds.fetch_add(1, Ordering::Relaxed);
-            Arc::new(build())
-        }))
+        // Wait until the slot is ready (return it) or empty (claim it).
+        {
+            let mut state = slot.state.lock().expect("slot lock");
+            loop {
+                match &*state {
+                    SlotState::Ready(v) => return Ok(Arc::clone(v)),
+                    SlotState::Building => {
+                        state = slot.changed.wait(state).expect("slot lock");
+                    }
+                    SlotState::Empty => {
+                        *state = SlotState::Building;
+                        break;
+                    }
+                }
+            }
+        }
+        // We are the builder; the slot lock is released while we run.
+        let built = std::panic::catch_unwind(AssertUnwindSafe(build));
+        let mut state = slot.state.lock().expect("slot lock");
+        let result = match built {
+            Ok(value) => {
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                let value = Arc::new(value);
+                *state = SlotState::Ready(Arc::clone(&value));
+                Ok(value)
+            }
+            Err(payload) => {
+                self.panicked.fetch_add(1, Ordering::Relaxed);
+                *state = SlotState::Empty;
+                Err(BuildPanic {
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        };
+        drop(state);
+        slot.changed.notify_all();
+        result
     }
 
     /// Hit/miss counts so far. Deterministic for a fixed point set:
     /// misses equal the number of distinct keys, hits the remainder.
+    /// A panicked build counts as neither (its lookup is excluded).
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         let misses = self.builds.load(Ordering::Relaxed);
         CacheStats {
-            hits: self.lookups.load(Ordering::Relaxed) - misses,
+            hits: self
+                .lookups
+                .load(Ordering::Relaxed)
+                .saturating_sub(misses)
+                .saturating_sub(self.panics()),
             misses,
         }
+    }
+
+    /// Lookups whose build panicked (lookups = hits + misses + panics).
+    fn panics(&self) -> usize {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently cached (ready or building).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a poisoned map lock.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Renders a panic payload the way the default hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -153,5 +308,75 @@ mod tests {
         assert_eq!(built.load(Ordering::Relaxed), 1);
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().hits, 7);
+    }
+
+    #[test]
+    fn key_content_is_stable() {
+        assert_eq!(key(4).content(), "d/W4/c/T-");
+        let mut k = key(8);
+        k.test_width = Some(2);
+        assert_eq!(k.content(), "d/W8/c/T2");
+    }
+
+    #[test]
+    fn panicked_build_leaves_the_slot_retryable() {
+        // Regression: a panicking builder used to be able to wedge
+        // every later request for the same key; now it reports the
+        // panic and the next lookup rebuilds.
+        let cache: SynthCache<u32> = SynthCache::new();
+        let err = cache
+            .try_get_or_build(key(4), || panic!("synthesis exploded"))
+            .unwrap_err();
+        assert!(err.message.contains("synthesis exploded"), "{err}");
+        let v = cache
+            .try_get_or_build(key(4), || 9)
+            .expect("slot must be retryable after a panic");
+        assert_eq!(*v, 9);
+        assert_eq!(cache.stats().misses, 1, "only the good build counts");
+    }
+
+    #[test]
+    fn waiters_blocked_on_a_panicking_build_recover() {
+        let cache: SynthCache<u32> = SynthCache::new();
+        let rebuilt = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let panicker = s.spawn(|| {
+                cache.try_get_or_build(key(4), || {
+                    // Give waiters time to block on the Building slot.
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    panic!("boom")
+                })
+            });
+            let waiters: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        cache.try_get_or_build(key(4), || {
+                            rebuilt.fetch_add(1, Ordering::Relaxed);
+                            11
+                        })
+                    })
+                })
+                .collect();
+            assert!(panicker.join().unwrap().is_err());
+            for w in waiters {
+                assert_eq!(*w.join().unwrap().unwrap(), 11);
+            }
+        });
+        assert_eq!(
+            rebuilt.load(Ordering::Relaxed),
+            1,
+            "exactly one waiter rebuilds"
+        );
+    }
+
+    #[test]
+    fn get_or_build_repanics_but_does_not_wedge() {
+        let cache: SynthCache<u32> = SynthCache::new();
+        let unwound = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            cache.get_or_build(key(4), || panic!("first attempt"))
+        }));
+        assert!(unwound.is_err());
+        assert_eq!(*cache.get_or_build(key(4), || 5), 5);
     }
 }

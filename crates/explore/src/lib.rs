@@ -37,12 +37,14 @@ pub mod cache;
 pub mod pareto;
 pub mod report;
 pub mod space;
+pub mod store;
 pub mod worker;
 
-pub use cache::{BuildKey, CacheStats, SynthCache};
+pub use cache::{BuildKey, BuildPanic, CacheStats, SynthCache};
 pub use pareto::{front_of, knee_point, Objective, ALL_OBJECTIVES};
 pub use report::{PointResult, PrunedPoint, SpaceReport};
 pub use space::{DesignSpec, ExplorePoint, SpaceSpec, WakeSpec};
+pub use store::{cache_salt, DiskStore, StoreLimits, StoreStats};
 pub use worker::run_pool;
 
 use rand::rngs::SmallRng;
@@ -51,11 +53,12 @@ use scanguard_codes::SequenceCodec;
 use scanguard_core::{break_even, measure_cost, BreakEven, CodeChoice, CostRow, Synthesizer};
 use scanguard_lint::{RuleSet, Severity};
 use scanguard_obs::{arg, Lane, Recorder};
+use scanguard_par::CancelToken;
 use scanguard_power::{PowerNetwork, UpsetModel};
 
 /// What one synthesis run contributes to every wake variant of a
 /// `(design, W, code)` configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct BuildMetrics {
     /// The measured cost row.
     pub row: CostRow,
@@ -77,7 +80,7 @@ fn seed_of(key: &str) -> u64 {
 
 /// Why the build gate rejected a `(design, W, code, T)` configuration
 /// instead of measuring it.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum BuildRejection {
     /// Statically infeasible before synthesis — e.g. the test width
     /// does not tile the chain count, SG104's Fig. 5(b) invariant.
@@ -121,6 +124,77 @@ impl BuildRejection {
             | BuildRejection::Lint { detail, .. } => detail,
         }
     }
+}
+
+/// The serialized form a build takes in the persistent store
+/// (the vendored serde has no `Result` impl, so the two outcomes are
+/// an explicit enum).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+enum StoredBuild {
+    /// The configuration synthesized and measured cleanly.
+    Built(BuildMetrics),
+    /// The build gate rejected the configuration (also worth caching:
+    /// the gate is deterministic, so the rejection will recur).
+    Rejected(BuildRejection),
+}
+
+impl StoredBuild {
+    fn from_result(r: &Result<BuildMetrics, BuildRejection>) -> Self {
+        match r {
+            Ok(m) => StoredBuild::Built(m.clone()),
+            Err(rej) => StoredBuild::Rejected(rej.clone()),
+        }
+    }
+
+    fn into_result(self) -> Result<BuildMetrics, BuildRejection> {
+        match self {
+            StoredBuild::Built(m) => Ok(m),
+            StoredBuild::Rejected(rej) => Err(rej),
+        }
+    }
+}
+
+/// Why an exploration run did not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The run's [`CancelToken`] was raised before every point was
+    /// evaluated.
+    Cancelled,
+    /// An internal invariant failed (or, with pruning off, the first
+    /// rejected point's message).
+    Failed(String),
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::Cancelled => f.write_str("exploration cancelled"),
+            ExploreError::Failed(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// How an exploration runs: thread count plus the optional service
+/// machinery — observability, cooperative cancellation, and the
+/// persistent build store the in-memory cache writes through to.
+///
+/// [`explore`] and [`explore_obs`] are thin wrappers over this; a
+/// serving daemon fills in every field.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExploreEnv<'a> {
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+    /// Observability sink, when tracing/metrics are on.
+    pub obs: Option<&'a Recorder>,
+    /// Cooperative cancellation, checked between points.
+    pub cancel: Option<&'a CancelToken>,
+    /// Persistent build store: consulted before synthesizing, written
+    /// through after. Entries are keyed by the salted
+    /// [`BuildKey::content`] string, so report bytes are identical
+    /// whether the store is cold or warm.
+    pub store: Option<&'a DiskStore>,
 }
 
 /// Synthesizes, lint-gates and measures one `(design, W, code, T)`
@@ -212,26 +286,49 @@ pub enum PointOutcome {
 /// (CRC, parity) leave corrupted state corrupted — their residual rate
 /// is the upset rate.
 ///
+/// When a persistent `store` is supplied, the in-memory cache becomes
+/// a write-through layer over it: a memory miss first consults the
+/// store (deserializing a previous run's build instead of
+/// re-synthesizing) and a fresh build is written through on the way
+/// out. Rejections are stored too — the gate is deterministic.
+///
 /// # Errors
 ///
 /// Returns a message only for internal invariant failures (a code
-/// family that cannot produce its block codec); build-gate rejections
-/// are data, not errors.
+/// family that cannot produce its block codec, a panicked builder);
+/// build-gate rejections are data, not errors.
 pub fn evaluate_point(
     point: &ExplorePoint,
     cache: &SynthCache<Result<BuildMetrics, BuildRejection>>,
     trials: u64,
     test_width: Option<usize>,
+    store: Option<&DiskStore>,
 ) -> Result<PointOutcome, String> {
-    let build = cache.get_or_build(
-        BuildKey {
-            design: point.design.label(),
-            chains: point.chains,
-            code: point.code.name(),
-            test_width,
-        },
-        || build_metrics(&point.design, point.chains, point.code, test_width),
-    );
+    let key = BuildKey {
+        design: point.design.label(),
+        chains: point.chains,
+        code: point.code.name(),
+        test_width,
+    };
+    let content = key.content();
+    let build = cache
+        .try_get_or_build(key, || {
+            if let Some(store) = store {
+                if let Some(doc) = store.load(&content) {
+                    if let Ok(stored) = serde_json::from_str::<StoredBuild>(&doc) {
+                        return stored.into_result();
+                    }
+                }
+            }
+            let built = build_metrics(&point.design, point.chains, point.code, test_width);
+            if let Some(store) = store {
+                if let Ok(doc) = serde_json::to_string(&StoredBuild::from_result(&built)) {
+                    let _ = store.save(&content, &doc);
+                }
+            }
+            built
+        })
+        .map_err(|p| format!("{}: {p}", point.key()))?;
     let metrics = match build.as_ref() {
         Ok(metrics) => metrics,
         Err(rejection) => {
@@ -348,32 +445,60 @@ pub fn explore_obs(
     threads: usize,
     obs: Option<&Recorder>,
 ) -> Result<SpaceReport, String> {
+    let env = ExploreEnv {
+        threads,
+        obs,
+        ..ExploreEnv::default()
+    };
+    explore_env(spec, &env).map_err(|e| e.to_string())
+}
+
+/// [`explore_obs`] with the full environment: a persistent
+/// [`DiskStore`] the per-run synthesis cache writes through to, and a
+/// [`CancelToken`] that aborts the run between points.
+///
+/// The report stays a pure function of `spec` — the store only changes
+/// *how fast* a miss resolves (deserialization instead of synthesis),
+/// never what it resolves to, so warm and cold runs serialize to
+/// identical bytes.
+///
+/// # Errors
+///
+/// [`ExploreError::Cancelled`] when the token fires before every point
+/// lands; otherwise [`ExploreError::Failed`] as [`explore`].
+pub fn explore_env(spec: &SpaceSpec, env: &ExploreEnv) -> Result<SpaceReport, ExploreError> {
     let points = spec.enumerate();
     let ff_count = spec.design.ff_count();
+    let obs = env.obs;
     let cache: SynthCache<Result<BuildMetrics, BuildRejection>> = SynthCache::new();
-    let results = scanguard_par::run_pool_obs(points.len(), threads, obs, |worker, i| {
-        let point = &points[i];
-        if let Some(rec) = obs {
-            rec.begin(Lane::Worker(worker as u32), "point", point.id as u64);
-        }
-        let result = evaluate_point(point, &cache, spec.trials, spec.test_width);
-        if let Some(rec) = obs {
-            rec.end(
-                Lane::Worker(worker as u32),
-                "point",
-                point.id as u64,
-                vec![
-                    arg("id", point.id as u64),
-                    arg("code", point.code.name()),
-                    arg("chains", point.chains as u64),
-                    arg("wake", point.wake.label()),
-                ],
-            );
-        }
-        result
-    });
+    let results =
+        scanguard_par::run_pool_cancel(points.len(), env.threads, obs, env.cancel, |worker, i| {
+            let point = &points[i];
+            if let Some(rec) = obs {
+                rec.begin(Lane::Worker(worker as u32), "point", point.id as u64);
+            }
+            let result = evaluate_point(point, &cache, spec.trials, spec.test_width, env.store);
+            if let Some(rec) = obs {
+                rec.end(
+                    Lane::Worker(worker as u32),
+                    "point",
+                    point.id as u64,
+                    vec![
+                        arg("id", point.id as u64),
+                        arg("code", point.code.name()),
+                        arg("chains", point.chains as u64),
+                        arg("wake", point.wake.label()),
+                    ],
+                );
+            }
+            result
+        })
+        .map_err(|_| ExploreError::Cancelled)?;
     let stats = cache.stats();
-    let outcomes: Vec<PointOutcome> = results.into_iter().collect::<Result<_, String>>()?;
+    let outcomes: Vec<PointOutcome> = results
+        .into_iter()
+        .collect::<Result<_, String>>()
+        .map_err(ExploreError::Failed)?;
     let mut evaluated = Vec::new();
     let mut pruned = Vec::new();
     for outcome in outcomes {
@@ -382,7 +507,7 @@ pub fn explore_obs(
             PointOutcome::Pruned(p) if spec.prune => pruned.push(p),
             // Strict mode: the first rejection (outcomes are id-ordered)
             // fails the run, matching the pre-gate first-error behavior.
-            PointOutcome::Pruned(p) => return Err(p.detail),
+            PointOutcome::Pruned(p) => return Err(ExploreError::Failed(p.detail)),
         }
     }
     if let Some(rec) = obs {
@@ -467,6 +592,64 @@ mod tests {
             .filter(|e| e.kind == EventKind::Begin && e.name == "point")
             .count();
         assert_eq!(point_spans, observed.points.len(), "one span per point");
+    }
+
+    #[test]
+    fn persistent_store_warms_without_changing_the_report() {
+        let dir = std::env::temp_dir().join(format!(
+            "scanguard-store-warm-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = tiny_spec();
+        let store = DiskStore::open(&dir, StoreLimits::default()).unwrap();
+        let cold_env = ExploreEnv {
+            threads: 4,
+            store: Some(&store),
+            ..ExploreEnv::default()
+        };
+        let cold = explore_env(&spec, &cold_env).unwrap();
+        let cold_stats = store.stats();
+        assert_eq!(cold_stats.hits, 0, "first run cannot hit the store");
+        assert_eq!(cold_stats.writes as usize, cold.cache.misses);
+
+        // A fresh store handle on the same directory models a restart.
+        let reopened = DiskStore::open(&dir, StoreLimits::default()).unwrap();
+        let warm_env = ExploreEnv {
+            threads: 4,
+            store: Some(&reopened),
+            ..ExploreEnv::default()
+        };
+        let warm = explore_env(&spec, &warm_env).unwrap();
+        let warm_stats = reopened.stats();
+        assert_eq!(
+            warm_stats.hits as usize, warm.cache.misses,
+            "every in-memory miss must resolve from disk when warm"
+        );
+        assert_eq!(warm_stats.writes, 0, "a warm run re-synthesizes nothing");
+        assert_eq!(
+            cold.to_json().unwrap(),
+            warm.to_json().unwrap(),
+            "the store must never change report bytes"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_exploration_reports_cancellation() {
+        let spec = tiny_spec();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let env = ExploreEnv {
+            threads: 2,
+            cancel: Some(&cancel),
+            ..ExploreEnv::default()
+        };
+        match explore_env(&spec, &env) {
+            Err(ExploreError::Cancelled) => {}
+            other => panic!("pre-cancelled run must cancel, got {other:?}"),
+        }
     }
 
     #[test]

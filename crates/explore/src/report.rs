@@ -208,6 +208,23 @@ impl SpaceReport {
         serde_json::from_value(&value).map_err(|e| format!("decoding report: {e}"))
     }
 
+    /// Counts pruned points per design rule, ordered by rule ID. A
+    /// point rejected under several rules counts once per rule;
+    /// rule-less rejections (raw synthesis failures) land under `-`.
+    #[must_use]
+    pub fn prune_rule_counts(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for p in &self.pruned {
+            if p.rules.is_empty() {
+                *counts.entry("-".to_owned()).or_insert(0) += 1;
+            }
+            for rule in &p.rules {
+                *counts.entry(rule.clone()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
     /// Serializes the points as CSV (header + one row per point). When
     /// any point was pruned, a `#`-commented block follows the data;
     /// for clean spaces the output is byte-identical to the pre-gate
@@ -349,6 +366,26 @@ mod tests {
         assert!(gated.starts_with(&clean), "data section must be unchanged");
         assert!(gated.contains("# pruned"));
         assert!(gated.contains("# 7,fifo4x4,\"CRC-16\",5,full-bank,4,SG104,"));
+    }
+
+    #[test]
+    fn prune_rule_counts_tally_per_rule() {
+        let mut r = tiny_report();
+        assert!(r.prune_rule_counts().is_empty());
+        r.pruned.push(pruned_entry());
+        let mut multi = pruned_entry();
+        multi.id = 8;
+        multi.rules = vec!["SG104".into(), "SG201".into()];
+        r.pruned.push(multi);
+        let mut bare = pruned_entry();
+        bare.id = 9;
+        bare.rules = Vec::new();
+        r.pruned.push(bare);
+        let counts = r.prune_rule_counts();
+        assert_eq!(counts.len(), 3);
+        assert_eq!(counts["SG104"], 2);
+        assert_eq!(counts["SG201"], 1);
+        assert_eq!(counts["-"], 1);
     }
 
     #[test]

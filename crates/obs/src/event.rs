@@ -21,6 +21,10 @@ pub enum Lane {
     Main,
     /// One worker of the deterministic pool, by worker index.
     Worker(u32),
+    /// One daemon request, by request id — a served request's spans
+    /// live on their own lane so concurrent requests never interleave
+    /// on the main timeline.
+    Request(u32),
 }
 
 /// What kind of timeline mark an event is.

@@ -63,16 +63,20 @@ pub(crate) struct HistoCell {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Volatile histograms (request latencies, anything wall-clock)
+    /// are reported apart from the deterministic ones.
+    pub(crate) volatile: bool,
 }
 
 impl HistoCell {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(volatile: bool) -> Self {
         HistoCell {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            volatile,
         }
     }
 }
@@ -171,12 +175,15 @@ pub struct MetricsSnapshot {
     /// Nondeterministic observations (idle nanoseconds, per-worker task
     /// counts). Reported, never compared.
     pub volatile: BTreeMap<String, u64>,
+    /// Nondeterministic histograms (request latency in wall-clock
+    /// units). Reported, never compared.
+    pub volatile_histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 impl PartialEq for MetricsSnapshot {
     fn eq(&self, other: &Self) -> bool {
-        // `volatile` is scheduling/wall-clock noise, not part of the
-        // snapshot's identity.
+        // The volatile sections are scheduling/wall-clock noise, not
+        // part of the snapshot's identity.
         self.counters == other.counters && self.histograms == other.histograms
     }
 }
@@ -245,7 +252,7 @@ mod tests {
 
     #[test]
     fn histogram_snapshot_summarizes() {
-        let cell = Arc::new(HistoCell::new());
+        let cell = Arc::new(HistoCell::new(false));
         let h = HistogramHandle(Some(cell.clone()));
         for v in [0, 1, 1, 3, 16] {
             h.record(v);

@@ -299,13 +299,24 @@ impl Recorder {
     /// Returns a disabled handle when metrics are off.
     #[must_use]
     pub fn histogram(&self, name: &str) -> HistogramHandle {
+        self.register_histogram(name, false)
+    }
+
+    /// Resolves a volatile histogram — wall-clock observations (request
+    /// latency), excluded from snapshot equality.
+    #[must_use]
+    pub fn histogram_volatile(&self, name: &str) -> HistogramHandle {
+        self.register_histogram(name, true)
+    }
+
+    fn register_histogram(&self, name: &str, volatile: bool) -> HistogramHandle {
         if !self.metrics_on {
             return HistogramHandle::disabled();
         }
         let mut map = self.histograms.lock().expect("histogram registry");
         let cell = map
             .entry(name.to_owned())
-            .or_insert_with(|| Arc::new(HistoCell::new()))
+            .or_insert_with(|| Arc::new(HistoCell::new(volatile)))
             .clone();
         HistogramHandle(Some(cell))
     }
@@ -323,17 +334,20 @@ impl Recorder {
                 counters.insert(name.clone(), v);
             }
         }
-        let histograms = self
-            .histograms
-            .lock()
-            .expect("histogram registry")
-            .iter()
-            .map(|(name, cell)| (name.clone(), cell.snapshot()))
-            .collect();
+        let mut histograms = BTreeMap::new();
+        let mut volatile_histograms = BTreeMap::new();
+        for (name, cell) in self.histograms.lock().expect("histogram registry").iter() {
+            if cell.volatile {
+                volatile_histograms.insert(name.clone(), cell.snapshot());
+            } else {
+                histograms.insert(name.clone(), cell.snapshot());
+            }
+        }
         MetricsSnapshot {
             counters,
             histograms,
             volatile,
+            volatile_histograms,
         }
     }
 }
@@ -429,6 +443,29 @@ mod tests {
             a.deterministic_json().unwrap(),
             b.deterministic_json().unwrap()
         );
+    }
+
+    #[test]
+    fn volatile_histograms_report_apart_and_never_compare() {
+        let rec = Recorder::new(RecorderConfig {
+            metrics: true,
+            ..RecorderConfig::default()
+        });
+        rec.histogram("work.sizes").record(8);
+        rec.histogram_volatile("request.latency_us").record(1500);
+        let a = rec.metrics_snapshot();
+        assert!(a.histograms.contains_key("work.sizes"));
+        assert!(!a.histograms.contains_key("request.latency_us"));
+        assert_eq!(a.volatile_histograms["request.latency_us"].count, 1);
+        // Equality and the deterministic sink ignore the volatile side.
+        rec.histogram_volatile("request.latency_us").record(9000);
+        let b = rec.metrics_snapshot();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.deterministic_json().unwrap(),
+            b.deterministic_json().unwrap()
+        );
+        assert!(!a.deterministic_json().unwrap().contains("latency_us"));
     }
 
     #[test]

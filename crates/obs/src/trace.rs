@@ -29,6 +29,7 @@ pub fn lane_tid(lane: Lane) -> u64 {
         Lane::Controller => 0,
         Lane::Main => 1,
         Lane::Worker(w) => 10 + u64::from(w),
+        Lane::Request(r) => 1000 + u64::from(r),
     }
 }
 
@@ -39,6 +40,7 @@ pub fn lane_name(lane: Lane) -> String {
         Lane::Controller => "controller".to_owned(),
         Lane::Main => "main".to_owned(),
         Lane::Worker(w) => format!("worker-{w}"),
+        Lane::Request(r) => format!("request-{r}"),
     }
 }
 

@@ -25,9 +25,143 @@
 #![forbid(unsafe_code)]
 
 use scanguard_obs::{arg, Lane, Recorder};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+/// A shared worker-slot budget: long-running services run many pool
+/// fan-outs concurrently, and without coordination an 8-core host
+/// asked to serve four 8-thread requests would oversubscribe to 32
+/// threads. Each run [`acquire`](Self::acquire)s slots first — it gets
+/// as many as are free (at least one, blocking until one frees up), so
+/// the total worker count across every concurrent run never exceeds
+/// the budget.
+///
+/// Determinism is untouched: a grant only sizes the pool, and
+/// [`run_pool`] results are thread-count-blind by construction.
+#[derive(Debug)]
+pub struct PoolBudget {
+    slots: usize,
+    free: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl PoolBudget {
+    /// A budget of `slots` worker slots (clamped to at least 1).
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        let slots = slots.max(1);
+        PoolBudget {
+            slots,
+            free: Mutex::new(slots),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Total slots in the budget.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Slots currently unclaimed.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a poisoned budget lock.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        *self.free.lock().expect("budget lock")
+    }
+
+    /// Claims up to `want` slots (at least 1), blocking while none are
+    /// free. The grant returns its slots on drop.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a poisoned budget lock.
+    #[must_use]
+    pub fn acquire(&self, want: usize) -> BudgetGrant<'_> {
+        let want = want.max(1);
+        let mut free = self.free.lock().expect("budget lock");
+        while *free == 0 {
+            free = self.freed.wait(free).expect("budget lock");
+        }
+        let granted = want.min(*free);
+        *free -= granted;
+        BudgetGrant {
+            budget: self,
+            threads: granted,
+        }
+    }
+
+    fn release(&self, n: usize) {
+        let mut free = self.free.lock().expect("budget lock");
+        *free = (*free + n).min(self.slots);
+        drop(free);
+        self.freed.notify_all();
+    }
+}
+
+/// Worker slots claimed from a [`PoolBudget`]; returned on drop.
+#[derive(Debug)]
+pub struct BudgetGrant<'a> {
+    budget: &'a PoolBudget,
+    threads: usize,
+}
+
+impl BudgetGrant<'_> {
+    /// How many slots this grant holds — the thread count to run with.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Drop for BudgetGrant<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.threads);
+    }
+}
+
+/// A cooperative cancellation flag shared between a pool run and
+/// whoever may abort it (a serving daemon's `cancel` request, a
+/// deadline sweeper). Cloning shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Workers stop claiming new tasks; tasks already
+    /// running finish normally.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A cancellable pool run observed its token mid-run and stopped
+/// before evaluating every index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("pool run cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// Evaluates `eval(i)` for every `i < n` on `threads` workers and
 /// returns the results in index order.
@@ -72,6 +206,34 @@ where
     T: Send,
     F: Fn(usize, usize) -> T + Sync,
 {
+    run_pool_cancel(n, threads, obs, None, eval).expect("uncancellable run cannot be cancelled")
+}
+
+/// [`run_pool_obs`] with cooperative cancellation: workers check
+/// `cancel` before claiming each next index and stop claiming once the
+/// token is raised. A run that stopped short returns `Err(Cancelled)`;
+/// a run whose tasks all completed returns `Ok` even if the token was
+/// raised after the last claim (the result is whole, so it is valid).
+///
+/// # Errors
+///
+/// [`Cancelled`] when the token aborted the run before every index was
+/// evaluated.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_pool_cancel<T, F>(
+    n: usize,
+    threads: usize,
+    obs: Option<&Recorder>,
+    cancel: Option<&CancelToken>,
+    eval: F,
+) -> Result<Vec<T>, Cancelled>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
     let threads = threads.max(1).min(n.max(1));
     if let Some(rec) = obs {
         rec.counter_volatile("par.workers").add(threads as u64);
@@ -92,6 +254,9 @@ where
                     let mut local = Vec::new();
                     let mut busy_ns = 0u64;
                     loop {
+                        if cancel.is_some_and(CancelToken::is_cancelled) {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
@@ -129,8 +294,11 @@ where
         }
     });
     let mut results = collected.into_inner().expect("result lock");
+    if results.len() < n {
+        return Err(Cancelled);
+    }
     results.sort_by_key(|&(i, _)| i);
-    results.into_iter().map(|(_, v)| v).collect()
+    Ok(results.into_iter().map(|(_, v)| v).collect())
 }
 
 #[cfg(test)]
@@ -185,6 +353,78 @@ mod tests {
             .map(|(_, &v)| v)
             .sum();
         assert_eq!(claimed, 40, "volatile per-worker claims sum to n");
+    }
+
+    #[test]
+    fn budget_caps_concurrent_grants() {
+        let budget = PoolBudget::new(4);
+        let a = budget.acquire(3);
+        assert_eq!(a.threads(), 3);
+        // Only one slot is left: a greedy request gets it, not more.
+        let b = budget.acquire(8);
+        assert_eq!(b.threads(), 1);
+        assert_eq!(budget.available(), 0);
+        drop(a);
+        assert_eq!(budget.available(), 3);
+        drop(b);
+        assert_eq!(budget.available(), 4);
+    }
+
+    #[test]
+    fn budget_blocks_until_a_slot_frees() {
+        let budget = PoolBudget::new(2);
+        let held = budget.acquire(2);
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| budget.acquire(1).threads());
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            drop(held);
+            assert_eq!(waiter.join().unwrap(), 1);
+        });
+        assert!(t0.elapsed().as_millis() >= 30, "acquire must have blocked");
+    }
+
+    #[test]
+    fn zero_slot_budget_is_clamped_to_one() {
+        let budget = PoolBudget::new(0);
+        assert_eq!(budget.slots(), 1);
+        assert_eq!(budget.acquire(5).threads(), 1);
+    }
+
+    #[test]
+    fn cancelled_run_stops_claiming_and_reports_it() {
+        let token = CancelToken::new();
+        let started = AtomicUsize::new(0);
+        let result = run_pool_cancel(1000, 2, None, Some(&token), |_, i| {
+            started.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                token.cancel();
+            }
+            i
+        });
+        assert_eq!(result, Err(Cancelled));
+        assert!(
+            started.load(Ordering::Relaxed) < 1000,
+            "workers must stop claiming after cancel"
+        );
+    }
+
+    #[test]
+    fn completed_run_ignores_a_late_cancel() {
+        let token = CancelToken::new();
+        let out = run_pool_cancel(8, 2, None, Some(&token), |_, i| i).unwrap();
+        token.cancel();
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let token = CancelToken::new();
+        let f = |i: usize| i.wrapping_mul(0x9E37_79B9) ^ (i << 3);
+        assert_eq!(
+            run_pool_cancel(64, 8, None, Some(&token), |_, i| f(i)).unwrap(),
+            run_pool(64, 8, f)
+        );
     }
 
     #[test]

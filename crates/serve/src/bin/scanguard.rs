@@ -10,18 +10,23 @@
 //! scanguard rush     --trials 2000
 //! scanguard verilog  --depth 8 --width 8 --chains 8 --code crc16 --out fifo.v
 //! scanguard lint     fifo32x32 --deny warn
+//! scanguard serve    --store .scanguard-cache --tcp 127.0.0.1:7311
+//! scanguard client   --connect 127.0.0.1:7311 --request '{"id":1,"type":"status"}'
 //! ```
 
 use scanguard_core::{break_even, cost_header, measure_cost, CodeChoice, Synthesizer};
 use scanguard_designs::Fifo;
-use scanguard_explore::{report, DesignSpec, Objective, SpaceReport, SpaceSpec};
+use scanguard_explore::{cache_salt, report, DesignSpec, Objective, SpaceReport, SpaceSpec};
 use scanguard_harness::{
     ablation_rush, cost_sweep, fig10_family, print_table, validation_obs, Fig10Config,
 };
 use scanguard_lint::{lint_netlist, RuleSet, Severity};
 use scanguard_obs::{Level, Recorder, RecorderConfig};
+use scanguard_serve::{serve_stdio, serve_tcp, Daemon, ServeConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +34,14 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if cmd == "--version" || cmd == "-V" {
+        println!(
+            "scanguard {} (cache salt {})",
+            env!("CARGO_PKG_VERSION"),
+            cache_salt()
+        );
+        return ExitCode::SUCCESS;
+    }
     // `lint` accepts its design as a positional: `scanguard lint fifo32x32`.
     let mut rest = rest.to_vec();
     if cmd == "lint" && rest.first().is_some_and(|a| !a.starts_with("--")) {
@@ -57,6 +70,8 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(&opts, &obs),
         "verilog" => cmd_verilog(&opts),
         "json" => cmd_json(&opts),
+        "serve" => cmd_serve(&opts),
+        "client" => cmd_client(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -171,8 +186,15 @@ COMMANDS:
               --depth N --width N --chains N --code CODE [--out FILE]
   json      export a protected FIFO netlist as JSON
               --depth N --width N --chains N --code CODE [--out FILE]
+  serve     run the evaluation daemon (NDJSON requests; see PROTOCOL.md)
+              [--threads N] [--store DIR] [--store-max-entries N]
+              [--store-max-bytes N] [--tcp HOST:PORT]
+              (without --tcp, serves stdin -> stdout)
+  client    send one request line to a TCP daemon and print the response
+              --connect HOST:PORT --request JSON [--timeout-ms N]
 
 GLOBAL OPTIONS (any command):
+  --version | -V                                print version and cache salt
   --log-level off|error|warn|info|debug|trace   stderr log threshold (default info)
   --quiet                                       shorthand for --log-level warn
   --trace                                       record structured events
@@ -246,6 +268,17 @@ const COMMAND_KEYS: &[(&str, &[&str])] = &[
         "json",
         &["depth", "width", "chains", "code", "test-width", "out"],
     ),
+    (
+        "serve",
+        &[
+            "threads",
+            "store",
+            "store-max-entries",
+            "store-max-bytes",
+            "tcp",
+        ],
+    ),
+    ("client", &["connect", "request", "timeout-ms"]),
 ];
 
 /// Options every command understands (the observability layer).
@@ -317,25 +350,7 @@ fn get<T: std::str::FromStr>(
 }
 
 fn parse_code(opts: &HashMap<String, String>) -> Result<CodeChoice, String> {
-    let raw = opts.get("code").map_or("hamming:3", String::as_str);
-    if raw == "crc16" {
-        return Ok(CodeChoice::Crc16);
-    }
-    if let Some(m) = raw.strip_prefix("hamming:") {
-        let m: u32 = m.parse().map_err(|_| format!("bad hamming order {m:?}"))?;
-        return Ok(CodeChoice::Hamming { m });
-    }
-    if let Some(m) = raw.strip_prefix("secded:") {
-        let m: u32 = m.parse().map_err(|_| format!("bad secded order {m:?}"))?;
-        return Ok(CodeChoice::ExtendedHamming { m });
-    }
-    if let Some(gw) = raw.strip_prefix("parity:") {
-        let gw: usize = gw.parse().map_err(|_| format!("bad parity width {gw:?}"))?;
-        return Ok(CodeChoice::Parity { group_width: gw });
-    }
-    Err(format!(
-        "unknown code {raw:?} (crc16 | hamming:M | secded:M | parity:GW)"
-    ))
+    scanguard_serve::parse_code(opts.get("code").map_or("hamming:3", String::as_str))
 }
 
 fn build(opts: &HashMap<String, String>) -> Result<scanguard_core::ProtectedDesign, String> {
@@ -456,6 +471,7 @@ fn cmd_explore(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> 
                 p.detail
             );
         }
+        print_prune_counts(&result);
     }
     print_front(
         &result,
@@ -493,8 +509,23 @@ fn cmd_pareto(opts: &HashMap<String, String>) -> Result<(), String> {
             .collect::<Result<_, _>>()?,
         None => vec![1.0; objectives.len()],
     };
+    if !result.pruned.is_empty() {
+        print_prune_counts(&result);
+    }
     print_front(&result, &objectives, recommend.then_some(&weights))?;
     Ok(())
+}
+
+/// One line tallying the pruned section per design rule (`-` counts
+/// rule-less synthesis failures).
+fn print_prune_counts(result: &SpaceReport) {
+    let counts = result.prune_rule_counts();
+    let tally: Vec<String> = counts.iter().map(|(r, n)| format!("{r}={n}")).collect();
+    println!(
+        "pruned {} points by rule: {}",
+        result.pruned.len(),
+        tally.join(" ")
+    );
 }
 
 /// Prints the Pareto front of `result` under `objectives`; with
@@ -773,6 +804,86 @@ fn cmd_lint(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> {
             "lint found findings at or above --deny {deny} (worst: {})",
             report.worst().map_or_else(String::new, |s| s.to_string())
         ))
+    }
+}
+
+/// Set by the SIGTERM handler; the serve loops poll it and drain.
+static TERM_FLAG: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    TERM_FLAG.store(true, Ordering::SeqCst);
+}
+
+/// Registers the SIGTERM handler through the C runtime — std has no
+/// signal API and the workspace vendors no libc crate, so the one
+/// symbol needed is declared directly.
+fn install_sigterm() {
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SIGTERM is 15 on every Unix this builds for.
+        signal(15, on_sigterm);
+    }
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut cfg = ServeConfig {
+        slots: get(opts, "threads", num_threads_default())?,
+        store_dir: opts.get("store").map(std::path::PathBuf::from),
+        ..ServeConfig::default()
+    };
+    cfg.store_limits.max_entries = get(opts, "store-max-entries", cfg.store_limits.max_entries)?;
+    cfg.store_limits.max_bytes = get(opts, "store-max-bytes", cfg.store_limits.max_bytes)?;
+    let daemon = Arc::new(Daemon::new(&cfg)?);
+    install_sigterm();
+    let term = Arc::new(AtomicBool::new(false));
+    {
+        // Bridge the signal-handler static into the flag the serve
+        // loops poll.
+        let term = term.clone();
+        std::thread::spawn(move || loop {
+            if TERM_FLAG.load(Ordering::SeqCst) {
+                term.store(true, Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+    match opts.get("tcp") {
+        Some(addr) => serve_tcp(&daemon, addr, &term, |bound| {
+            // The bound address goes to stdout so scripts binding
+            // port 0 can discover the ephemeral port.
+            println!("listening {bound}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        }),
+        None => {
+            eprintln!("serving NDJSON on stdio (one request per line; see PROTOCOL.md)");
+            serve_stdio(&daemon, &term)
+        }
+    }
+}
+
+fn cmd_client(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts
+        .get("connect")
+        .ok_or("client needs --connect HOST:PORT")?;
+    let line = opts.get("request").ok_or("client needs --request JSON")?;
+    let timeout = match opts.get("timeout-ms") {
+        Some(v) => Some(std::time::Duration::from_millis(
+            v.parse().map_err(|_| format!("bad --timeout-ms {v:?}"))?,
+        )),
+        None => None,
+    };
+    let resp = scanguard_serve::request_line(addr, line, timeout)?;
+    println!("{resp}");
+    let value: serde::Value =
+        serde_json::from_str(&resp).map_err(|e| format!("decoding response: {e}"))?;
+    match value.get("ok").and_then(serde::Value::as_bool) {
+        Some(true) => Ok(()),
+        _ => Err("daemon returned an error response".into()),
     }
 }
 

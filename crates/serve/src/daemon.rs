@@ -1,0 +1,841 @@
+//! The daemon: accepts NDJSON requests, runs each on its own thread,
+//! and multiplexes the heavy ones onto a shared worker budget.
+//!
+//! One [`Daemon`] lives for the whole process. Every request gets its
+//! own handler thread (so a long `explore` never blocks a `status`
+//! probe), but the *worker* threads those handlers fan out to come
+//! from one [`PoolBudget`] — concurrent requests share the machine
+//! instead of oversubscribing it.
+//!
+//! Determinism contract: the `result` payload of `lint`, `coverage`,
+//! `explore` and `pareto` responses is byte-identical for the same
+//! request at any thread count and any cache temperature. Wall-clock
+//! fields are zeroed (`coverage.wall_ms`) and scheduling-dependent
+//! observations only ever appear in `status`/`metrics` responses,
+//! which are explicitly outside the contract.
+
+use crate::protocol::{err_response, id_key, num, ok_response, ErrorCode, Request};
+use scanguard_core::{CodeChoice, Synthesizer};
+use scanguard_explore::{
+    cache_salt, explore_env, front_of, knee_point, DesignSpec, DiskStore, ExploreEnv, ExploreError,
+    Objective, SpaceReport, SpaceSpec, StoreLimits,
+};
+use scanguard_lint::{RuleSet, Severity};
+use scanguard_obs::{arg, Lane, Level, Recorder, RecorderConfig};
+use scanguard_par::{CancelToken, PoolBudget};
+use serde::{Number, Serialize, Value};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a [`Daemon`] is provisioned.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Total worker threads shared by all concurrent requests.
+    pub slots: usize,
+    /// Root of the persistent content-addressed build store; `None`
+    /// serves from memory only.
+    pub store_dir: Option<PathBuf>,
+    /// Eviction bounds for the persistent store.
+    pub store_limits: StoreLimits,
+    /// Collect trace events (request lanes).
+    pub trace: bool,
+    /// stderr log threshold.
+    pub log_level: Level,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            slots: std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            store_dir: None,
+            store_limits: StoreLimits::default(),
+            trace: false,
+            log_level: Level::Info,
+        }
+    }
+}
+
+/// A request currently being served, addressable by its client id.
+struct Inflight {
+    token: CancelToken,
+}
+
+/// The serving core, shared by every transport and every request
+/// thread.
+pub struct Daemon {
+    budget: PoolBudget,
+    store: Option<DiskStore>,
+    rec: Recorder,
+    started: Instant,
+    requests_total: AtomicU64,
+    next_lane: AtomicU32,
+    inflight: Mutex<HashMap<String, Inflight>>,
+    draining: AtomicBool,
+}
+
+/// Request kinds that run real work (and therefore register for
+/// cancellation, deadlines and the drain barrier).
+const WORK_KINDS: &[&str] = &["lint", "coverage", "explore", "pareto"];
+/// Request kinds answered inline from daemon state.
+const CONTROL_KINDS: &[&str] = &["status", "metrics", "version", "cancel", "shutdown"];
+
+impl Daemon {
+    /// Builds a daemon, opening (or creating) the persistent store when
+    /// one is configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the store root cannot be opened.
+    pub fn new(cfg: &ServeConfig) -> Result<Daemon, String> {
+        let store = match &cfg.store_dir {
+            Some(dir) => Some(DiskStore::open(dir, cfg.store_limits)?),
+            None => None,
+        };
+        Ok(Daemon {
+            budget: PoolBudget::new(cfg.slots),
+            store,
+            rec: Recorder::new(RecorderConfig {
+                level: cfg.log_level,
+                trace: cfg.trace,
+                metrics: true,
+                ..RecorderConfig::default()
+            }),
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            next_lane: AtomicU32::new(0),
+            inflight: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+        })
+    }
+
+    /// The daemon's recorder (always collecting metrics).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+
+    /// The persistent store, when configured.
+    #[must_use]
+    pub fn store(&self) -> Option<&DiskStore> {
+        self.store.as_ref()
+    }
+
+    /// Whether the daemon has stopped taking new work.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting new work; in-flight requests run to completion.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Requests currently being served.
+    #[must_use]
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.lock().expect("inflight registry").len()
+    }
+
+    /// Serves one request line, returning the one response line (no
+    /// trailing newline). Never panics on malformed input — protocol
+    /// errors become error responses.
+    pub fn handle_line(&self, line: &str) -> String {
+        let req = match Request::parse(line) {
+            Ok(r) => r,
+            Err((code, msg)) => return err_response(&Value::Null, code, &msg),
+        };
+        let known =
+            WORK_KINDS.contains(&req.kind.as_str()) || CONTROL_KINDS.contains(&req.kind.as_str());
+        if !known {
+            return err_response(
+                &req.id,
+                ErrorCode::UnknownType,
+                &format!(
+                    "unknown request type {:?} (valid: {} {})",
+                    req.kind,
+                    WORK_KINDS.join(" "),
+                    CONTROL_KINDS.join(" ")
+                ),
+            );
+        }
+        let started = Instant::now();
+        let lane = Lane::Request(self.next_lane.fetch_add(1, Ordering::Relaxed));
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.rec.counter("serve.requests").inc();
+        self.rec
+            .counter(&format!("serve.requests.{}", req.kind))
+            .inc();
+        self.rec.begin(lane, &req.kind, 0);
+        let result = if WORK_KINDS.contains(&req.kind.as_str()) {
+            self.run_work(&req)
+        } else {
+            self.run_control(&req)
+        };
+        let outcome = match &result {
+            Ok(_) => "ok".to_owned(),
+            Err((code, _)) => code.name().to_owned(),
+        };
+        self.rec.end(
+            lane,
+            &req.kind,
+            0,
+            vec![arg("id", id_key(&req.id)), arg("outcome", outcome.as_str())],
+        );
+        let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.rec
+            .histogram_volatile("serve.request_latency_us")
+            .record(elapsed_us);
+        match result {
+            Ok(value) => ok_response(&req.id, value),
+            Err((code, msg)) => err_response(&req.id, code, &msg),
+        }
+    }
+
+    // ----------------------------------------------------- work requests
+
+    /// Runs a work request under the in-flight registry: cancellable by
+    /// a `cancel` request naming its id, aborted when its `timeout_ms`
+    /// deadline fires, rejected outright while draining.
+    fn run_work(&self, req: &Request) -> Result<Value, (ErrorCode, String)> {
+        if self.is_draining() {
+            return Err((
+                ErrorCode::Draining,
+                "daemon is draining and accepts no new work".into(),
+            ));
+        }
+        let token = CancelToken::new();
+        let timed_out = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
+        let key = id_key(&req.id);
+        self.inflight.lock().expect("inflight registry").insert(
+            key.clone(),
+            Inflight {
+                token: token.clone(),
+            },
+        );
+        if let Some(ms) = req.timeout_ms {
+            let token = token.clone();
+            let timed_out = timed_out.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let deadline = Instant::now() + Duration::from_millis(ms);
+                while Instant::now() < deadline {
+                    if done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                if !done.load(Ordering::Acquire) {
+                    timed_out.store(true, Ordering::Release);
+                    token.cancel();
+                }
+            });
+        }
+        let result = match req.kind.as_str() {
+            "lint" => self.do_lint(req),
+            "coverage" => self.do_coverage(req),
+            "explore" => self.do_explore(req, &token),
+            "pareto" => self.do_pareto(req),
+            other => unreachable!("non-work kind {other} dispatched as work"),
+        };
+        done.store(true, Ordering::Release);
+        self.inflight
+            .lock()
+            .expect("inflight registry")
+            .remove(&key);
+        // The deadline wins over whatever the handler managed to
+        // produce: once `timeout_ms` fired the client was promised an
+        // error, even if an uncancellable stage completed afterwards.
+        if timed_out.load(Ordering::Acquire) {
+            let ms = req.timeout_ms.unwrap_or(0);
+            return Err((ErrorCode::Timeout, format!("deadline of {ms} ms exceeded")));
+        }
+        match result {
+            Err((ErrorCode::Failed, msg)) if token.is_cancelled() => {
+                Err((ErrorCode::Cancelled, msg))
+            }
+            other => other,
+        }
+    }
+
+    fn do_lint(&self, req: &Request) -> Result<Value, (ErrorCode, String)> {
+        let failed = |m: String| (ErrorCode::Failed, m);
+        let rules = match req.str_param("rules") {
+            Some(list) => {
+                let ids: Vec<&str> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                RuleSet::select(&ids).map_err(|e| failed(e.to_string()))?
+            }
+            None => RuleSet::all(),
+        };
+        let deny: Severity = match req.str_param("deny") {
+            Some(v) => v.parse().map_err(failed)?,
+            None => Severity::Error,
+        };
+        let spec =
+            DesignSpec::parse(req.str_param("design").unwrap_or("fifo32x32")).map_err(failed)?;
+        let chains = usize_param(req, "chains", 8).map_err(failed)?;
+        let code = parse_code(req.str_param("code").unwrap_or("hamming:3")).map_err(failed)?;
+        let test_width = usize_param(req, "test_width", 4).map_err(failed)?;
+        let design = Synthesizer::new(spec.netlist())
+            .chains(chains)
+            .code(code)
+            .test_width(test_width)
+            .build()
+            .map_err(|e| failed(e.to_string()))?;
+        let report = design.lint(&rules, None);
+        Ok(Value::Object(vec![
+            ("report".to_owned(), report.to_value()),
+            ("clean".to_owned(), Value::Bool(report.is_clean_at(deny))),
+            (
+                "worst".to_owned(),
+                report
+                    .worst()
+                    .map_or(Value::Null, |s| Value::Str(s.to_string())),
+            ),
+        ]))
+    }
+
+    fn do_coverage(&self, req: &Request) -> Result<Value, (ErrorCode, String)> {
+        use scanguard_dft::{enumerate_faults, fault_coverage_obs, FaultSimConfig, ScanAccess};
+        let failed = |m: String| (ErrorCode::Failed, m);
+        let depth = usize_param(req, "depth", 32).map_err(failed)?;
+        let width = usize_param(req, "width", 32).map_err(failed)?;
+        let chains = usize_param(req, "chains", 80).map_err(failed)?;
+        let code = parse_code(req.str_param("code").unwrap_or("hamming:3")).map_err(failed)?;
+        let test_width = usize_param(req, "test_width", 4).map_err(failed)?;
+        let patterns = usize_param(req, "patterns", 16).map_err(failed)?;
+        let max_faults = usize_param(req, "max_faults", 200).map_err(failed)?;
+        let want = usize_param(req, "threads", self.budget.slots()).map_err(failed)?;
+        let fifo = scanguard_designs::Fifo::generate(depth, width);
+        let design = Synthesizer::new(fifo.netlist)
+            .chains(chains)
+            .code(code)
+            .test_width(test_width)
+            .build()
+            .map_err(|e| failed(e.to_string()))?;
+        let tm = design
+            .test_mode
+            .as_ref()
+            .ok_or_else(|| failed("coverage needs a test-mode design".into()))?;
+        let scope = req.str_param("scope").unwrap_or("pgc");
+        let mut faults = enumerate_faults(&design.netlist);
+        match scope {
+            "pgc" => faults.retain(|f| f.cell.index() < design.gated_watermark),
+            "all" => {}
+            other => return Err(failed(format!("unknown scope {other:?} (pgc | all)"))),
+        }
+        let grant = self.budget.acquire(want);
+        let report = fault_coverage_obs(
+            &design.netlist,
+            ScanAccess::TestMode(&design.chains, tm),
+            &design.library,
+            &faults,
+            &FaultSimConfig {
+                patterns,
+                seed: 0xC1,
+                max_faults: Some(max_faults),
+                hold_low: design.monitor.hold_low_ports(),
+                threads: grant.threads(),
+            },
+            None,
+        )
+        .map_err(|e| failed(e.to_string()))?;
+        drop(grant);
+        let mut value = report.to_value();
+        // Wall-clock is measurement noise; zero it so coverage
+        // responses honor the byte-identity contract.
+        if let Some(w) = value.get_mut("wall_ms") {
+            *w = Value::Num(Number::F(0.0));
+        }
+        Ok(Value::Object(vec![("coverage".to_owned(), value)]))
+    }
+
+    fn do_explore(&self, req: &Request, token: &CancelToken) -> Result<Value, (ErrorCode, String)> {
+        let failed = |m: String| (ErrorCode::Failed, m);
+        let design =
+            DesignSpec::parse(req.str_param("design").unwrap_or("fifo32x32")).map_err(failed)?;
+        let mut spec = SpaceSpec::paper(design);
+        spec.w_min = usize_param(req, "wmin", spec.w_min).map_err(failed)?;
+        spec.w_max = usize_param(req, "wmax", spec.w_max).map_err(failed)?;
+        spec.trials = req.u64_param("trials", spec.trials).map_err(failed)?;
+        if let Some(v) = req.body.get("test_width") {
+            if !matches!(v, Value::Null) {
+                let tw = v
+                    .as_u64()
+                    .ok_or_else(|| failed("parameter \"test_width\" must be an integer".into()))?;
+                spec.test_width = Some(tw as usize);
+            }
+        }
+        spec.prune = req.bool_param("prune", true).map_err(failed)?;
+        let want = usize_param(req, "threads", self.budget.slots()).map_err(failed)?;
+        let grant = self.budget.acquire(want);
+        let env = ExploreEnv {
+            threads: grant.threads(),
+            obs: None,
+            cancel: Some(token),
+            store: self.store.as_ref(),
+        };
+        let report = explore_env(&spec, &env).map_err(|e| match e {
+            ExploreError::Cancelled => (ErrorCode::Cancelled, "request cancelled".to_owned()),
+            ExploreError::Failed(m) => (ErrorCode::Failed, m),
+        })?;
+        drop(grant);
+        Ok(Value::Object(vec![
+            ("report".to_owned(), report.to_value()),
+            (
+                "prune_rules".to_owned(),
+                report.prune_rule_counts().to_value(),
+            ),
+        ]))
+    }
+
+    fn do_pareto(&self, req: &Request) -> Result<Value, (ErrorCode, String)> {
+        let failed = |m: String| (ErrorCode::Failed, m);
+        let report_val = req
+            .body
+            .get("report")
+            .ok_or_else(|| failed("pareto needs a \"report\" object (an explore result)".into()))?;
+        let doc = serde_json::to_string(report_val).map_err(|e| failed(e.to_string()))?;
+        let report = SpaceReport::from_json(&doc).map_err(failed)?;
+        let objectives = match req.str_param("objectives") {
+            Some(list) => Objective::parse_list(list).map_err(failed)?,
+            None => vec![Objective::AreaOverheadPct, Objective::LatencyNs],
+        };
+        let recommend = req.bool_param("recommend", false).map_err(failed)?;
+        let weights: Vec<f64> = match req.str_param("weights") {
+            Some(list) => list
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| failed(format!("bad weight {s:?}")))
+                })
+                .collect::<Result<_, _>>()?,
+            None => vec![1.0; objectives.len()],
+        };
+        let front = front_of(&report.points, &objectives);
+        let front_ids: Vec<Value> = front
+            .iter()
+            .map(|&i| num(report.points[i].id as u64))
+            .collect();
+        let names: Vec<Value> = objectives
+            .iter()
+            .map(|o| Value::Str(o.name().to_owned()))
+            .collect();
+        let recommendation = if recommend {
+            let knee = knee_point(&report.points, &front, &objectives, &weights)
+                .ok_or_else(|| failed("empty front, nothing to recommend".into()))?;
+            let p = &report.points[knee];
+            Value::Object(vec![
+                ("id".to_owned(), num(p.id as u64)),
+                ("code".to_owned(), Value::Str(p.code.clone())),
+                ("chains".to_owned(), num(p.chains as u64)),
+                ("wake".to_owned(), Value::Str(p.wake.clone())),
+            ])
+        } else {
+            Value::Null
+        };
+        Ok(Value::Object(vec![
+            ("front".to_owned(), Value::Array(front_ids)),
+            ("objectives".to_owned(), Value::Array(names)),
+            ("recommend".to_owned(), recommendation),
+            (
+                "prune_rules".to_owned(),
+                report.prune_rule_counts().to_value(),
+            ),
+        ]))
+    }
+
+    // -------------------------------------------------- control requests
+
+    fn run_control(&self, req: &Request) -> Result<Value, (ErrorCode, String)> {
+        match req.kind.as_str() {
+            "status" => Ok(self.status()),
+            "metrics" => Ok(self.rec.metrics_snapshot().to_value()),
+            "version" => Ok(self.version()),
+            "cancel" => self.cancel(req),
+            "shutdown" => {
+                self.begin_drain();
+                Ok(Value::Object(vec![(
+                    "draining".to_owned(),
+                    Value::Bool(true),
+                )]))
+            }
+            other => unreachable!("non-control kind {other} dispatched as control"),
+        }
+    }
+
+    fn status(&self) -> Value {
+        let store = match &self.store {
+            Some(s) => Value::Object(vec![
+                ("salt".to_owned(), Value::Str(s.salt().to_owned())),
+                ("stats".to_owned(), s.stats().to_value()),
+            ]),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            (
+                "requests_total".to_owned(),
+                num(self.requests_total.load(Ordering::Relaxed)),
+            ),
+            ("inflight".to_owned(), num(self.inflight_len() as u64)),
+            ("draining".to_owned(), Value::Bool(self.is_draining())),
+            (
+                "budget".to_owned(),
+                Value::Object(vec![
+                    ("slots".to_owned(), num(self.budget.slots() as u64)),
+                    ("available".to_owned(), num(self.budget.available() as u64)),
+                ]),
+            ),
+            ("store".to_owned(), store),
+            (
+                "uptime_ms".to_owned(),
+                num(u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)),
+            ),
+        ])
+    }
+
+    fn version(&self) -> Value {
+        let salt = self
+            .store
+            .as_ref()
+            .map_or_else(cache_salt, |s| s.salt().to_owned());
+        Value::Object(vec![
+            (
+                "version".to_owned(),
+                Value::Str(env!("CARGO_PKG_VERSION").to_owned()),
+            ),
+            ("cache_salt".to_owned(), Value::Str(salt)),
+        ])
+    }
+
+    fn cancel(&self, req: &Request) -> Result<Value, (ErrorCode, String)> {
+        let target = req.body.get("target").ok_or((
+            ErrorCode::BadRequest,
+            "cancel needs a \"target\" id".to_owned(),
+        ))?;
+        let key = id_key(target);
+        let registry = self.inflight.lock().expect("inflight registry");
+        match registry.get(&key) {
+            Some(entry) => {
+                entry.token.cancel();
+                Ok(Value::Object(vec![(
+                    "cancelled".to_owned(),
+                    target.clone(),
+                )]))
+            }
+            None => Err((
+                ErrorCode::UnknownTarget,
+                format!("no in-flight request with id {key}"),
+            )),
+        }
+    }
+}
+
+/// A `usize` request parameter with a default.
+fn usize_param(req: &Request, key: &str, default: usize) -> Result<usize, String> {
+    req.u64_param(key, default as u64).map(|v| v as usize)
+}
+
+/// Parses the wire code spelling (`crc16 | hamming:M | secded:M |
+/// parity:GW`), shared with the CLI.
+///
+/// # Errors
+///
+/// Returns a message naming the valid spellings.
+pub fn parse_code(raw: &str) -> Result<CodeChoice, String> {
+    if raw == "crc16" {
+        return Ok(CodeChoice::Crc16);
+    }
+    if let Some(m) = raw.strip_prefix("hamming:") {
+        let m: u32 = m.parse().map_err(|_| format!("bad hamming order {m:?}"))?;
+        return Ok(CodeChoice::Hamming { m });
+    }
+    if let Some(m) = raw.strip_prefix("secded:") {
+        let m: u32 = m.parse().map_err(|_| format!("bad secded order {m:?}"))?;
+        return Ok(CodeChoice::ExtendedHamming { m });
+    }
+    if let Some(gw) = raw.strip_prefix("parity:") {
+        let gw: usize = gw.parse().map_err(|_| format!("bad parity width {gw:?}"))?;
+        return Ok(CodeChoice::Parity { group_width: gw });
+    }
+    Err(format!(
+        "unknown code {raw:?} (crc16 | hamming:M | secded:M | parity:GW)"
+    ))
+}
+
+// ------------------------------------------------------------ transports
+
+/// Pumps request lines from `lines` into the daemon, one handler
+/// thread per line, writing each response as one line under the writer
+/// lock. Returns when the channel closes (EOF/disconnect), `term` goes
+/// true (SIGTERM), or the daemon starts draining — after joining every
+/// handler it spawned, so in-flight responses always land before the
+/// transport closes.
+pub fn serve_lines<W: Write + Send + 'static>(
+    daemon: &Arc<Daemon>,
+    lines: &Receiver<String>,
+    out: &Arc<Mutex<W>>,
+    term: &Arc<AtomicBool>,
+) {
+    let mut handles = Vec::new();
+    loop {
+        if term.load(Ordering::SeqCst) || daemon.is_draining() {
+            break;
+        }
+        match lines.recv_timeout(Duration::from_millis(50)) {
+            Ok(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let daemon = daemon.clone();
+                let out = out.clone();
+                handles.push(std::thread::spawn(move || {
+                    let resp = daemon.handle_line(&line);
+                    let mut w = out.lock().expect("response writer");
+                    let _ = writeln!(w, "{resp}");
+                    let _ = w.flush();
+                }));
+                handles.retain(|h| !h.is_finished());
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Serves stdin → stdout until EOF, shutdown, or `term`. The returned
+/// error is currently unreachable but reserved for transport setup.
+///
+/// # Errors
+///
+/// None today; the signature matches [`serve_tcp`].
+pub fn serve_stdio(daemon: &Arc<Daemon>, term: &Arc<AtomicBool>) -> Result<(), String> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let out = Arc::new(Mutex::new(std::io::stdout()));
+    serve_lines(daemon, &rx, &out, term);
+    Ok(())
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0`) and serves connections until
+/// shutdown or `term`. `on_bound` receives the actual bound address —
+/// with port 0 that is how the caller learns the ephemeral port.
+///
+/// # Errors
+///
+/// Returns a message when binding or accepting fails.
+pub fn serve_tcp(
+    daemon: &Arc<Daemon>,
+    addr: &str,
+    term: &Arc<AtomicBool>,
+    on_bound: impl FnOnce(std::net::SocketAddr),
+) -> Result<(), String> {
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("configuring listener: {e}"))?;
+    on_bound(
+        listener
+            .local_addr()
+            .map_err(|e| format!("resolving bound address: {e}"))?,
+    );
+    let mut conns = Vec::new();
+    while !term.load(Ordering::SeqCst) && !daemon.is_draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = daemon.clone();
+                let term = term.clone();
+                conns.push(std::thread::spawn(move || {
+                    serve_conn(&daemon, stream, &term);
+                }));
+                conns.retain(|c| !c.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(format!("accepting connection: {e}")),
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    Ok(())
+}
+
+/// One TCP connection: a blocking reader thread feeds the shared line
+/// pump; on exit the socket is shut down so the reader unblocks.
+fn serve_conn(daemon: &Arc<Daemon>, stream: std::net::TcpStream, term: &Arc<AtomicBool>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(shutdown_handle) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let reader = std::thread::spawn(move || {
+        let mut r = std::io::BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match r.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    if tx.send(line.trim_end().to_owned()).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    });
+    let out = Arc::new(Mutex::new(write_half));
+    serve_lines(daemon, &rx, &out, term);
+    let _ = shutdown_handle.shutdown(std::net::Shutdown::Both);
+    let _ = reader.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daemon() -> Arc<Daemon> {
+        Arc::new(
+            Daemon::new(&ServeConfig {
+                slots: 2,
+                log_level: Level::Off,
+                ..ServeConfig::default()
+            })
+            .unwrap(),
+        )
+    }
+
+    fn ok_result(resp: &str) -> Value {
+        let v: Value = serde_json::from_str(resp).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{resp}");
+        v.get("result").unwrap().clone()
+    }
+
+    #[test]
+    fn version_reports_crate_and_salt() {
+        let d = daemon();
+        let r = ok_result(&d.handle_line(r#"{"id":1,"type":"version"}"#));
+        assert_eq!(
+            r.get("version").and_then(Value::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert_eq!(
+            r.get("cache_salt").and_then(Value::as_str),
+            Some(cache_salt().as_str())
+        );
+    }
+
+    #[test]
+    fn unknown_type_and_bad_json_are_protocol_errors() {
+        let d = daemon();
+        let bad: Value = serde_json::from_str(&d.handle_line("nope")).unwrap();
+        assert_eq!(bad.get("ok"), Some(&Value::Bool(false)));
+        let unk: Value =
+            serde_json::from_str(&d.handle_line(r#"{"id":2,"type":"frobnicate"}"#)).unwrap();
+        assert_eq!(
+            unk.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str),
+            Some("unknown-type")
+        );
+        assert_eq!(unk.get("id"), Some(&num(2)));
+    }
+
+    #[test]
+    fn lint_request_round_trips() {
+        let d = daemon();
+        let r = ok_result(&d.handle_line(
+            r#"{"id":3,"type":"lint","design":"fifo8x8","chains":8,"code":"crc16","test_width":4}"#,
+        ));
+        assert_eq!(r.get("clean"), Some(&Value::Bool(true)));
+        assert!(r.get("report").and_then(|v| v.get("design")).is_some());
+    }
+
+    #[test]
+    fn explore_is_deterministic_across_thread_counts() {
+        let d = daemon();
+        let line = |threads: usize| {
+            format!(
+                r#"{{"id":4,"type":"explore","design":"fifo4x4","trials":10,"threads":{threads}}}"#
+            )
+        };
+        let one = d.handle_line(&line(1));
+        let eight = d.handle_line(&line(8));
+        assert_eq!(one, eight, "explore payloads must be thread-count-blind");
+    }
+
+    #[test]
+    fn status_reflects_draining_and_shutdown() {
+        let d = daemon();
+        let s = ok_result(&d.handle_line(r#"{"id":5,"type":"status"}"#));
+        assert_eq!(s.get("draining"), Some(&Value::Bool(false)));
+        ok_result(&d.handle_line(r#"{"id":6,"type":"shutdown"}"#));
+        assert!(d.is_draining());
+        let denied: Value = serde_json::from_str(
+            &d.handle_line(r#"{"id":7,"type":"explore","design":"fifo4x4","trials":10}"#),
+        )
+        .unwrap();
+        assert_eq!(
+            denied
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str),
+            Some("draining")
+        );
+    }
+
+    #[test]
+    fn timeout_deadline_produces_a_timeout_error() {
+        let d = daemon();
+        let resp: Value = serde_json::from_str(&d.handle_line(
+            r#"{"id":8,"type":"explore","design":"fifo32x32","trials":400,"timeout_ms":1}"#,
+        ))
+        .unwrap();
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str),
+            Some("timeout"),
+            "{resp:?}"
+        );
+    }
+
+    #[test]
+    fn cancel_names_missing_targets() {
+        let d = daemon();
+        let resp: Value =
+            serde_json::from_str(&d.handle_line(r#"{"id":9,"type":"cancel","target":42}"#))
+                .unwrap();
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str),
+            Some("unknown-target")
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! scanguard-serve: the long-running evaluation daemon.
+//!
+//! Where the `scanguard` CLI pays full synthesis cost on every
+//! invocation, the daemon keeps the process — and the
+//! content-addressed build store — warm across requests: `lint`,
+//! `coverage`, `explore` and `pareto` arrive as newline-delimited JSON
+//! over stdio or TCP, run concurrently on their own threads, and share
+//! one worker budget ([`scanguard_par::PoolBudget`]) so parallel
+//! requests split the machine instead of oversubscribing it.
+//!
+//! The layers:
+//!
+//! - [`protocol`] — request/response framing, error codes, id echo.
+//! - [`daemon`] — dispatch, cancellation, deadlines, the drain
+//!   barrier, and the stdio/TCP transports.
+//! - [`client`] — a one-request blocking TCP client (also what
+//!   `scanguard client` uses).
+//!
+//! Determinism: work-request payloads are byte-identical for the same
+//! request at any thread count and any cache temperature; see
+//! `PROTOCOL.md` for the exact contract.
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+
+pub use client::{request_line, request_value};
+pub use daemon::{parse_code, serve_stdio, serve_tcp, Daemon, ServeConfig};
+pub use protocol::{err_response, ok_response, ErrorCode, Request};

@@ -1,0 +1,317 @@
+//! End-to-end tests for the evaluation daemon: real TCP transport,
+//! real client, real binary over stdio, and the persistent store's
+//! warm-start guarantees from ISSUE acceptance:
+//!
+//! - a warm daemon answers a repeated `explore` without re-synthesis
+//!   (the store's own hit counters prove it),
+//! - a restarted daemon against the same on-disk store still hits,
+//! - work payloads are byte-identical at `threads: 1` vs `threads: 8`,
+//! - SIGTERM drains in-flight work before the process exits.
+
+use scanguard_serve::{request_line, serve_tcp, Daemon, ServeConfig};
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+/// A scratch directory unique to this test invocation.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "scanguard-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Server {
+    addr: String,
+    term: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Boots a daemon on an ephemeral loopback port.
+    fn start(store_dir: Option<PathBuf>) -> Server {
+        let cfg = ServeConfig {
+            slots: 8,
+            store_dir,
+            log_level: scanguard_obs::Level::Off,
+            ..ServeConfig::default()
+        };
+        let daemon = Arc::new(Daemon::new(&cfg).expect("daemon boots"));
+        let term = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel();
+        let d = daemon.clone();
+        let t = term.clone();
+        let handle = thread::spawn(move || {
+            serve_tcp(&d, "127.0.0.1:0", &t, |bound| {
+                tx.send(bound).expect("report bound address");
+            })
+            .expect("serve_tcp runs");
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("daemon binds");
+        Server {
+            addr: addr.to_string(),
+            term,
+            handle: Some(handle),
+        }
+    }
+
+    /// One request, returning the raw response line.
+    fn raw(&self, line: &str) -> String {
+        request_line(&self.addr, line, Some(Duration::from_secs(120))).expect("request round-trip")
+    }
+
+    /// One request, asserting `ok: true` and returning `result`.
+    fn ok(&self, line: &str) -> Value {
+        let resp = self.raw(line);
+        let v: Value = serde_json::from_str(&resp).expect("response is JSON");
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{resp}");
+        v.get("result").expect("ok response has result").clone()
+    }
+
+    /// Asks the daemon to drain and joins the accept loop.
+    fn shutdown(mut self) {
+        let resp = self.raw(r#"{"id":"bye","type":"shutdown"}"#);
+        assert!(resp.contains(r#""ok":true"#), "{resp}");
+        self.term.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            h.join().expect("server thread exits");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.term.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn error_code(resp: &str) -> Option<String> {
+    let v: Value = serde_json::from_str(resp).ok()?;
+    v.get("error")?.get("code")?.as_str().map(ToOwned::to_owned)
+}
+
+fn store_stats(server: &Server) -> Value {
+    let status = server.ok(r#"{"id":"st","type":"status"}"#);
+    status
+        .get("store")
+        .expect("status reports store")
+        .get("stats")
+        .expect("store has stats")
+        .clone()
+}
+
+fn stat(stats: &Value, key: &str) -> u64 {
+    stats.get(key).and_then(Value::as_u64).unwrap_or(u64::MAX)
+}
+
+#[test]
+fn tcp_daemon_answers_every_request_kind() {
+    let dir = scratch("kinds");
+    let server = Server::start(Some(dir.clone()));
+
+    let version = server.ok(r#"{"id":1,"type":"version"}"#);
+    assert_eq!(
+        version.get("version").and_then(Value::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(version.get("cache_salt").and_then(Value::as_str).is_some());
+
+    let status = server.ok(r#"{"id":2,"type":"status"}"#);
+    assert_eq!(status.get("draining"), Some(&Value::Bool(false)));
+    assert!(status.get("store").and_then(|s| s.get("salt")).is_some());
+
+    let lint = server.ok(
+        r#"{"id":3,"type":"lint","design":"fifo8x8","chains":8,"code":"crc16","test_width":4}"#,
+    );
+    assert_eq!(lint.get("clean"), Some(&Value::Bool(true)));
+
+    let coverage = server.ok(
+        r#"{"id":4,"type":"coverage","depth":4,"width":4,"chains":4,"code":"crc16","test_width":4,"patterns":2,"max_faults":8}"#,
+    );
+    let wall = coverage
+        .get("coverage")
+        .and_then(|c| c.get("wall_ms"))
+        .and_then(Value::as_f64);
+    assert_eq!(wall, Some(0.0), "wall_ms must be zeroed in responses");
+
+    let explore = server.ok(r#"{"id":5,"type":"explore","design":"fifo4x4","trials":10}"#);
+    let report = explore.get("report").expect("explore returns a report");
+    assert!(explore.get("prune_rules").is_some());
+
+    let pareto_req = Value::Object(vec![
+        ("id".to_owned(), Value::Str("6".to_owned())),
+        ("type".to_owned(), Value::Str("pareto".to_owned())),
+        ("report".to_owned(), report.clone()),
+        ("recommend".to_owned(), Value::Bool(true)),
+    ]);
+    let pareto = server.ok(&serde_json::to_string(&pareto_req).unwrap());
+    assert!(pareto
+        .get("front")
+        .and_then(Value::as_array)
+        .is_some_and(|f| !f.is_empty()));
+    assert!(pareto
+        .get("recommend")
+        .and_then(|r| r.get("code"))
+        .is_some());
+
+    let metrics = server.ok(r#"{"id":7,"type":"metrics"}"#);
+    assert!(metrics.get("counters").is_some());
+
+    let missing = server.raw(r#"{"id":8,"type":"cancel","target":"nope"}"#);
+    assert_eq!(error_code(&missing).as_deref(), Some("unknown-target"));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_store_skips_resynthesis_and_survives_restart() {
+    let dir = scratch("warm");
+    let explore = |threads: usize| {
+        format!(
+            r#"{{"id":"warm","type":"explore","design":"fifo4x4","trials":10,"threads":{threads}}}"#
+        )
+    };
+
+    // Cold daemon: the first explore builds everything and writes the
+    // store; the second must be answered from it without re-synthesis.
+    let server = Server::start(Some(dir.clone()));
+    let first = server.raw(&explore(4));
+    let after_first = store_stats(&server);
+    assert!(
+        stat(&after_first, "writes") > 0,
+        "cold run populates the store: {after_first:?}"
+    );
+    assert_eq!(stat(&after_first, "hits"), 0, "{after_first:?}");
+
+    let second = server.raw(&explore(4));
+    assert_eq!(first, second, "warm response must be byte-identical");
+    let after_second = store_stats(&server);
+    assert!(
+        stat(&after_second, "hits") > 0,
+        "warm run is served from the store: {after_second:?}"
+    );
+    assert_eq!(
+        stat(&after_second, "writes"),
+        stat(&after_first, "writes"),
+        "warm run must not re-synthesize: {after_second:?}"
+    );
+
+    // Thread count must not leak into payload bytes, warm or cold.
+    let one = server.raw(&explore(1));
+    let eight = server.raw(&explore(8));
+    assert_eq!(one, eight, "payloads must be thread-count-blind");
+    assert_eq!(first, one, "cache temperature must not change payloads");
+    server.shutdown();
+
+    // Restart against the same on-disk store: still warm.
+    let server = Server::start(Some(dir.clone()));
+    let revived = server.raw(&explore(4));
+    assert_eq!(first, revived, "restart must not change payloads");
+    let after_restart = store_stats(&server);
+    assert!(
+        stat(&after_restart, "hits") > 0,
+        "restarted daemon hits the persisted store: {after_restart:?}"
+    );
+    assert_eq!(
+        stat(&after_restart, "writes"),
+        0,
+        "restarted daemon re-synthesizes nothing: {after_restart:?}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_aborts_an_inflight_explore() {
+    let server = Server::start(None);
+    let addr = server.addr.clone();
+    let worker = thread::spawn(move || {
+        request_line(
+            &addr,
+            r#"{"id":77,"type":"explore","design":"fifo32x32","trials":5000}"#,
+            Some(Duration::from_secs(300)),
+        )
+        .expect("worker request round-trips")
+    });
+    // Wait until the request registers as in flight, then cancel it.
+    let mut cancelled = false;
+    for _ in 0..600 {
+        let resp = server.raw(r#"{"id":"c","type":"cancel","target":77}"#);
+        if resp.contains(r#""ok":true"#) {
+            cancelled = true;
+            break;
+        }
+        assert_eq!(error_code(&resp).as_deref(), Some("unknown-target"));
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert!(cancelled, "explore never registered as in flight");
+    let resp = worker.join().expect("worker thread");
+    assert_eq!(
+        error_code(&resp).as_deref(),
+        Some("cancelled"),
+        "cancelled explore must report so: {resp}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn stdio_binary_round_trips_and_drains_on_sigterm() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_scanguard"))
+        .arg("serve")
+        .arg("--threads")
+        .arg("4")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon binary starts");
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+
+    writeln!(stdin, r#"{{"id":1,"type":"version"}}"#).expect("send version");
+    stdin.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("version response");
+    assert!(line.contains(r#""ok":true"#), "{line}");
+    assert!(line.contains(env!("CARGO_PKG_VERSION")), "{line}");
+
+    // Put a long explore in flight, then SIGTERM: the drain barrier
+    // must still deliver its response before the process exits.
+    writeln!(
+        stdin,
+        r#"{{"id":2,"type":"explore","design":"fifo8x8","trials":5000}}"#
+    )
+    .expect("send explore");
+    stdin.flush().expect("flush");
+    thread::sleep(Duration::from_millis(300));
+    let killed = Command::new("kill")
+        .arg("-TERM")
+        .arg(child.id().to_string())
+        .status()
+        .expect("kill runs");
+    assert!(killed.success(), "kill -TERM failed");
+
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("drained response");
+    assert!(
+        resp.contains(r#""id":2"#) && resp.contains(r#""ok":true"#),
+        "in-flight work must drain before exit: {resp}"
+    );
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "graceful exit expected, got {status}");
+}
