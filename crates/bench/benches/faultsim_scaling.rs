@@ -1,15 +1,19 @@
-//! Thread-scaling of the fault-dropping stuck-at fault simulator: the
-//! same fault sample at 1, 2, 4 and 8 workers. Each fault is an
-//! independent simulation against the shared golden responses, and
-//! fault dropping makes the per-fault cost wildly unequal (a blatant
-//! fault stops after one pattern; an undetected one runs the full set),
-//! so the curve shows how well the work-stealing pool packs the skewed
-//! queue. (On a single-core host the curve is flat.)
+//! Thread- and engine-scaling of the fault-dropping stuck-at fault
+//! simulator: the same fault sample at 1, 2, 4 and 8 workers, for both
+//! the scalar engine (one simulator per fault) and the bit-parallel
+//! wide engine (63 faults per 64-lane simulator word). Each fault is an
+//! independent simulation, and fault dropping makes the per-fault cost
+//! wildly unequal (a blatant fault stops after one pattern; an
+//! undetected one runs the full set), so the thread curve shows how
+//! well the work-stealing pool packs the skewed queue, while the
+//! scalar-vs-wide gap at equal thread count is the PPSFP payoff. (On a
+//! single-core host the thread curves are flat; the engine gap is not.)
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use scanguard_designs::Fifo;
 use scanguard_dft::{
-    enumerate_faults, fault_coverage, insert_scan, FaultSimConfig, ScanAccess, ScanConfig,
+    enumerate_faults, fault_coverage, insert_scan, FaultSimConfig, FaultSimEngine, ScanAccess,
+    ScanConfig,
 };
 use scanguard_netlist::CellLibrary;
 
@@ -24,19 +28,22 @@ fn bench_faultsim_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("faultsim_scaling");
     group.throughput(Throughput::Elements(sample as u64));
     group.sample_size(10);
-    for threads in [1usize, 2, 4, 8] {
-        let cfg = FaultSimConfig {
-            patterns: 8,
-            max_faults: Some(sample),
-            threads,
-            ..FaultSimConfig::default()
-        };
-        group.bench_function(&format!("threads/{threads}"), |b| {
-            b.iter(|| {
-                fault_coverage(&nl, ScanAccess::Direct(&chains), &lib, &faults, &cfg)
-                    .expect("fault simulation")
+    for engine in [FaultSimEngine::Scalar, FaultSimEngine::Wide] {
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = FaultSimConfig {
+                patterns: 8,
+                max_faults: Some(sample),
+                threads,
+                engine,
+                ..FaultSimConfig::default()
+            };
+            group.bench_function(&format!("{}/threads/{threads}", engine.name()), |b| {
+                b.iter(|| {
+                    fault_coverage(&nl, ScanAccess::Direct(&chains), &lib, &faults, &cfg)
+                        .expect("fault simulation")
+                });
             });
-        });
+        }
     }
     group.finish();
 }

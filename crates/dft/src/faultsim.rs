@@ -18,12 +18,23 @@
 //! per-fault outcomes are merged in index order, so the
 //! [`CoverageReport`] is byte-identical at any
 //! [`thread count`](FaultSimConfig::threads).
+//!
+//! Two engines implement that contract ([`FaultSimEngine`]): the scalar
+//! engine simulates one fault per [`Simulator`]; the bit-parallel
+//! [`FaultSimEngine::Wide`] engine (classic PPSFP, transposed to
+//! fault-parallel) packs a golden machine and up to 63 faulty machines
+//! into the 64 lanes of a [`WideSimulator`], so one settle pass
+//! advances the whole group and an XOR against lane 0 observes every
+//! fault at once. Fault dropping becomes clearing a lane bit out of the
+//! group's active mask. Both engines produce byte-identical reports —
+//! same detections, same per-fault cycle accounting — at any thread
+//! count and any lane packing, pinned by differential tests.
 
 use crate::{DftError, Lfsr, ScanChains, TestModeConfig};
-use scanguard_netlist::{CellId, CellLibrary, GateKind, Logic, NetId, Netlist};
+use scanguard_netlist::{CellId, CellLibrary, GateKind, Logic, LogicWord, NetId, Netlist};
 use scanguard_obs::{arg, HistogramHandle, Lane, Recorder};
 use scanguard_par::run_pool_obs;
-use scanguard_sim::Simulator;
+use scanguard_sim::{Simulator, WideSimulator};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -54,6 +65,63 @@ pub struct Fault {
     pub stuck: StuckAt,
 }
 
+/// Which simulation engine evaluates the faulty machines.
+///
+/// Both engines produce byte-identical [`CoverageReport`]s (enforced by
+/// differential tests); they differ only in wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultSimEngine {
+    /// One scalar [`Simulator`] per fault, fault-dropped (PR 2).
+    #[default]
+    Scalar,
+    /// Bit-parallel PPSFP: one [`WideSimulator`] per group of up to 63
+    /// faults — lane 0 golden, lanes 1..64 faulty, XOR against lane 0
+    /// giving detection for free.
+    Wide,
+}
+
+impl FaultSimEngine {
+    /// The wire/CLI name (`scalar` / `wide`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSimEngine::Scalar => "scalar",
+            FaultSimEngine::Wide => "wide",
+        }
+    }
+
+    /// Parses an engine name as used by the CLI (`scalar` / `wide`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<FaultSimEngine> {
+        match name {
+            "scalar" => Some(FaultSimEngine::Scalar),
+            "wide" => Some(FaultSimEngine::Wide),
+            _ => None,
+        }
+    }
+}
+
+// Hand-written (the vendored mini-serde derive has no `#[serde(...)]`
+// attributes): lowercase wire names, and an absent field — `Null` in the
+// value model — falls back to the default engine.
+impl serde::Serialize for FaultSimEngine {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_owned())
+    }
+}
+
+impl serde::Deserialize for FaultSimEngine {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Null => Ok(FaultSimEngine::default()),
+            _ => v
+                .as_str()
+                .and_then(FaultSimEngine::parse)
+                .ok_or_else(|| serde::Error::custom("engine must be \"scalar\" or \"wide\"")),
+        }
+    }
+}
+
 /// Configuration of a fault-simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct FaultSimConfig {
@@ -70,6 +138,10 @@ pub struct FaultSimConfig {
     /// Worker threads to fan the fault list over (clamped to at least
     /// 1). The report is identical at any thread count.
     pub threads: usize,
+    /// The simulation engine. The report is identical for either choice;
+    /// [`FaultSimEngine::Wide`] simulates 63 faults per settle pass.
+    /// Defaults to scalar when absent from a serialized config.
+    pub engine: FaultSimEngine,
 }
 
 impl Default for FaultSimConfig {
@@ -80,6 +152,7 @@ impl Default for FaultSimConfig {
             max_faults: None,
             hold_low: Vec::new(),
             threads: 1,
+            engine: FaultSimEngine::Scalar,
         }
     }
 }
@@ -208,6 +281,30 @@ impl<'a> ScanAccess<'a> {
             ScanAccess::TestMode(_, tm) => tm.shift(sim, inputs),
         }
     }
+
+    /// The scan-in nets a tester drives, one per pin, in pin order.
+    fn si_nets(&self) -> Vec<NetId> {
+        match self {
+            ScanAccess::Direct(c) => c.chains.iter().map(|ch| ch.si).collect(),
+            ScanAccess::TestMode(_, tm) => tm.test_si.clone(),
+        }
+    }
+
+    /// The scan-out nets a tester observes, aligned with
+    /// [`si_nets`](Self::si_nets) and with the observation order of
+    /// [`shift`](Self::shift).
+    fn so_nets(&self) -> Vec<NetId> {
+        match self {
+            ScanAccess::Direct(c) => c.chains.iter().map(|ch| ch.so).collect(),
+            ScanAccess::TestMode(_, tm) => tm.test_so.clone(),
+        }
+    }
+
+    fn enter_wide(&self, sim: &mut WideSimulator<'_>) {
+        if let ScanAccess::TestMode(_, tm) = self {
+            sim.set_net(tm.test_mode, Logic::One);
+        }
+    }
 }
 
 /// One pre-generated test pattern.
@@ -229,6 +326,40 @@ fn differs(golden: &[Logic], observed: &[Logic]) -> bool {
         .iter()
         .zip(observed)
         .any(|(&g, &f)| g.is_known() && f.is_known() && g != f)
+}
+
+/// The word-parallel form of [`differs`] for one observed net: lane 0
+/// carries the golden machine, and the returned mask has a bit per lane
+/// whose value is known and differs from a *known* lane 0 — exactly the
+/// scalar "both values known and different" rule, 64 lanes at a time.
+fn mismatch_word(w: LogicWord) -> u64 {
+    if w.xs & 1 != 0 {
+        // Golden value unknown: a tester masks this bit for every lane.
+        return 0;
+    }
+    let golden = if w.ones & 1 != 0 { !0u64 } else { 0 };
+    (w.ones ^ golden) & !w.xs
+}
+
+/// Drops the lanes in `mism`: records the detecting pattern and the
+/// analytic cycle count, exactly what the scalar engine's `sim.cycles()`
+/// reads at its early return. Lane `k` carries fault `k - 1`.
+fn record_drops(
+    mism: u64,
+    pattern: usize,
+    cycles_now: u64,
+    active: &mut u64,
+    detected_at: &mut [Option<usize>],
+    cycles: &mut [u64],
+) {
+    let mut m = mism;
+    while m != 0 {
+        let lane = m.trailing_zeros() as usize;
+        m &= m - 1;
+        detected_at[lane - 1] = Some(pattern);
+        cycles[lane - 1] = cycles_now;
+    }
+    *active &= !mism;
 }
 
 /// What one fault's (possibly dropped) simulation produced.
@@ -401,6 +532,128 @@ impl Tester<'_> {
             cycles: sim.cycles(),
         }
     }
+
+    /// Simulates up to 63 faults at once on a [`WideSimulator`]: lane 0
+    /// runs the golden machine, lane `k + 1` carries `faults[k]`, and
+    /// every observed net is XOR-compared against lane 0 the cycle it
+    /// emerges. Detected lanes are masked out of `active` (word-level
+    /// fault dropping) and the group exits as soon as every fault lane
+    /// has dropped.
+    ///
+    /// The per-fault outcome is *defined* to match the scalar engine:
+    /// the same observation points in the same order give the same
+    /// `detected_at`, and the analytic cycle counts reproduce what the
+    /// scalar run's `sim.cycles()` reads when it drops — `full_cycles`
+    /// for a fault the whole test never exposes.
+    fn simulate_group(&self, faults: &[Fault], full_cycles: u64) -> Vec<FaultOutcome> {
+        let lanes = faults.len();
+        debug_assert!((1..=63).contains(&lanes), "group of {lanes} fault lanes");
+        let mut sim = WideSimulator::new(self.netlist, self.lib);
+        if let Some(rec) = self.obs {
+            sim.attach_obs(rec);
+        }
+        for (_, net) in self.netlist.input_ports() {
+            sim.set_net(*net, Logic::Zero);
+        }
+        for (k, f) in faults.iter().enumerate() {
+            sim.set_stuck_lane(self.netlist.cell(f.cell).output(), k + 1, f.stuck.level());
+        }
+        self.access.enter_wide(&mut sim);
+        let si = self.access.si_nets();
+        let so = self.access.so_nets();
+        let se = self.access.se();
+        let per_pattern = self.length as u64 + 1;
+
+        // Bits 1..=lanes are live fault lanes; lane 0 (golden) never drops.
+        let mut active: u64 = (!0u64 >> (63 - lanes)) & !1;
+        let mut detected_at: Vec<Option<usize>> = vec![None; lanes];
+        let mut cycles: Vec<u64> = vec![full_cycles; lanes];
+
+        'test: {
+            for (p, pattern) in self.patterns.iter().enumerate() {
+                sim.set_net(se, Logic::One);
+                for (c, ins) in pattern.scan_in.iter().enumerate() {
+                    for (&net, &bit) in si.iter().zip(ins) {
+                        sim.set_net(net, bit);
+                    }
+                    sim.settle();
+                    let mut mism = 0u64;
+                    for &net in &so {
+                        mism |= mismatch_word(sim.value(net));
+                    }
+                    mism &= active;
+                    if mism != 0 {
+                        // The scalar engine counts the detecting shift's
+                        // clock (it steps inside `shift` before comparing).
+                        let now = p as u64 * per_pattern + c as u64 + 1;
+                        record_drops(mism, p, now, &mut active, &mut detected_at, &mut cycles);
+                        if active == 0 {
+                            break 'test;
+                        }
+                    }
+                    sim.step();
+                }
+                sim.set_net(se, Logic::Zero);
+                for (&net, &v) in self.free_pi.iter().zip(&pattern.pi) {
+                    sim.set_net(net, v);
+                }
+                sim.settle();
+                let mut mism = 0u64;
+                for (_, net) in self.netlist.output_ports() {
+                    mism |= mismatch_word(sim.value(*net));
+                }
+                mism &= active;
+                if mism != 0 {
+                    // POs are compared after l shifts, before the capture
+                    // clock.
+                    let now = p as u64 * per_pattern + self.length as u64;
+                    record_drops(mism, p, now, &mut active, &mut detected_at, &mut cycles);
+                    if active == 0 {
+                        break 'test;
+                    }
+                }
+                sim.step();
+            }
+            // The final flush exposes the last capture.
+            sim.set_net(se, Logic::One);
+            let base = self.patterns.len() as u64 * per_pattern;
+            for c in 0..self.length {
+                for &net in &si {
+                    sim.set_net(net, Logic::Zero);
+                }
+                sim.settle();
+                let mut mism = 0u64;
+                for &net in &so {
+                    mism |= mismatch_word(sim.value(net));
+                }
+                mism &= active;
+                if mism != 0 {
+                    let now = base + c as u64 + 1;
+                    record_drops(
+                        mism,
+                        self.patterns.len(),
+                        now,
+                        &mut active,
+                        &mut detected_at,
+                        &mut cycles,
+                    );
+                    if active == 0 {
+                        break 'test;
+                    }
+                }
+                sim.step();
+            }
+        }
+
+        detected_at
+            .into_iter()
+            .zip(cycles)
+            .map(|(detected_at, cycles)| FaultOutcome {
+                detected_at,
+                cycles,
+            })
+            .collect()
+    }
 }
 
 /// Runs stuck-at fault simulation and reports coverage.
@@ -462,6 +715,25 @@ pub fn fault_coverage_obs(
     faults: &[Fault],
     cfg: &FaultSimConfig,
     obs: Option<&Recorder>,
+) -> Result<CoverageReport, DftError> {
+    fault_coverage_impl(netlist, access, lib, faults, cfg, obs, WIDE_GROUP)
+}
+
+/// Fault lanes per [`WideSimulator`] group: 64 machine lanes minus the
+/// golden lane.
+const WIDE_GROUP: usize = 63;
+
+/// The engine-dispatching implementation. `group_lanes` is the wide
+/// engine's lane packing (production always passes [`WIDE_GROUP`]; tests
+/// pin that the report is identical at any packing).
+fn fault_coverage_impl(
+    netlist: &Netlist,
+    access: ScanAccess<'_>,
+    lib: &CellLibrary,
+    faults: &[Fault],
+    cfg: &FaultSimConfig,
+    obs: Option<&Recorder>,
+    group_lanes: usize,
 ) -> Result<CoverageReport, DftError> {
     let start = Instant::now();
     // Sample the fault list if requested.
@@ -533,33 +805,41 @@ pub fn fault_coverage_obs(
         length: l,
         obs,
     };
-    let (golden, full_cycles) = tester.golden();
 
     // Fan the faults out; outcomes come back in index order, so the
     // merge below (and thus the whole report) is thread-count-blind.
-    let outcomes = run_pool_obs(sampled.len(), cfg.threads, obs, |worker, i| {
-        let fault = sampled[i];
-        let outcome = tester.simulate_fault(fault, &golden);
-        if let Some(rec) = obs {
-            let detected = match outcome.detected_at {
-                Some(p) if p == cfg.patterns => "flush".to_owned(),
-                Some(p) => format!("p{p}"),
-                None => "undetected".to_owned(),
-            };
-            rec.instant(
-                Lane::Worker(worker as u32),
-                "fault",
-                outcome.cycles,
-                vec![
-                    arg("cell", fault.cell.index() as u64),
-                    arg("stuck", matches!(fault.stuck, StuckAt::One) as u64),
-                    arg("detected", detected.as_str()),
-                    arg("cycles", outcome.cycles),
-                ],
-            );
+    let (outcomes, full_cycles) = match cfg.engine {
+        FaultSimEngine::Scalar => {
+            let (golden, full_cycles) = tester.golden();
+            let outcomes = run_pool_obs(sampled.len(), cfg.threads, obs, |worker, i| {
+                let fault = sampled[i];
+                let outcome = tester.simulate_fault(fault, &golden);
+                if let Some(rec) = obs {
+                    emit_fault_instant(rec, worker, cfg.patterns, fault, &outcome);
+                }
+                outcome
+            });
+            (outcomes, full_cycles)
         }
-        outcome
-    });
+        FaultSimEngine::Wide => {
+            // No golden run: lane 0 of every group is the golden machine,
+            // and the never-dropped test length is analytic — l shifts
+            // plus a capture per pattern, then the l-cycle flush.
+            let full_cycles = cfg.patterns as u64 * (l as u64 + 1) + l as u64;
+            let groups: Vec<&[Fault]> = sampled.chunks(group_lanes.clamp(1, WIDE_GROUP)).collect();
+            let group_outcomes = run_pool_obs(groups.len(), cfg.threads, obs, |worker, g| {
+                let outcomes = tester.simulate_group(groups[g], full_cycles);
+                if let Some(rec) = obs {
+                    for (&fault, outcome) in groups[g].iter().zip(&outcomes) {
+                        emit_fault_instant(rec, worker, cfg.patterns, fault, outcome);
+                    }
+                }
+                outcomes
+            });
+            let outcomes: Vec<FaultOutcome> = group_outcomes.into_iter().flatten().collect();
+            (outcomes, full_cycles)
+        }
+    };
 
     let (fault_cycles, detect_pattern) = match obs {
         Some(rec) => (
@@ -604,6 +884,32 @@ pub fn fault_coverage_obs(
         dropped_cycles,
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
     })
+}
+
+/// One trace instant per simulated fault, identical for both engines.
+fn emit_fault_instant(
+    rec: &Recorder,
+    worker: usize,
+    patterns: usize,
+    fault: Fault,
+    outcome: &FaultOutcome,
+) {
+    let detected = match outcome.detected_at {
+        Some(p) if p == patterns => "flush".to_owned(),
+        Some(p) => format!("p{p}"),
+        None => "undetected".to_owned(),
+    };
+    rec.instant(
+        Lane::Worker(worker as u32),
+        "fault",
+        outcome.cycles,
+        vec![
+            arg("cell", fault.cell.index() as u64),
+            arg("stuck", matches!(fault.stuck, StuckAt::One) as u64),
+            arg("detected", detected.as_str()),
+            arg("cycles", outcome.cycles),
+        ],
+    );
 }
 
 #[cfg(test)]
@@ -828,6 +1134,172 @@ mod tests {
         assert!(report.simulated_cycles > p as u64 * per_pattern);
         assert!(report.simulated_cycles < (p as u64 + 1) * per_pattern);
         assert!(report.dropped_cycles > 0, "dropping must save cycles");
+    }
+
+    /// `wall_ms` normalized out, everything else byte-for-byte.
+    fn canonical_json(mut r: CoverageReport) -> String {
+        r.wall_ms = 0.0;
+        serde_json::to_string(&r).unwrap()
+    }
+
+    #[test]
+    fn wide_engine_matches_scalar_byte_for_byte() {
+        let (nl, sc) = scanned();
+        let lib = CellLibrary::st120nm();
+        let faults = enumerate_faults(&nl);
+        let run = |engine: FaultSimEngine, threads: usize| {
+            fault_coverage(
+                &nl,
+                ScanAccess::Direct(&sc),
+                &lib,
+                &faults,
+                &FaultSimConfig {
+                    patterns: 8,
+                    threads,
+                    engine,
+                    ..FaultSimConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let scalar = run(FaultSimEngine::Scalar, 1);
+        assert!(scalar.detected > 0, "fixture must detect something");
+        for threads in [1, 8] {
+            let wide = run(FaultSimEngine::Wide, threads);
+            assert_eq!(
+                canonical_json(scalar.clone()),
+                canonical_json(wide),
+                "wide engine diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_engine_matches_scalar_through_test_mode() {
+        let (mut nl, sc) = scanned();
+        let tm = configure_test_mode(&mut nl, &sc, 1).unwrap();
+        let lib = CellLibrary::st120nm();
+        let faults = enumerate_faults(&nl);
+        let run = |engine: FaultSimEngine| {
+            fault_coverage(
+                &nl,
+                ScanAccess::TestMode(&sc, &tm),
+                &lib,
+                &faults,
+                &FaultSimConfig {
+                    patterns: 6,
+                    engine,
+                    ..FaultSimConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        assert_eq!(
+            canonical_json(run(FaultSimEngine::Scalar)),
+            canonical_json(run(FaultSimEngine::Wide)),
+            "wide engine diverged through the concatenated test chains"
+        );
+    }
+
+    #[test]
+    fn lane_packing_does_not_change_the_report() {
+        // 1 fault lane per group degenerates to serial golden-vs-faulty
+        // pairs; 7 leaves the last group partial; 63 is production. All
+        // must be byte-identical (and identical to scalar).
+        let (nl, sc) = scanned();
+        let lib = CellLibrary::st120nm();
+        let faults = enumerate_faults(&nl);
+        let cfg = FaultSimConfig {
+            patterns: 8,
+            threads: 2,
+            engine: FaultSimEngine::Wide,
+            ..FaultSimConfig::default()
+        };
+        let scalar = fault_coverage(
+            &nl,
+            ScanAccess::Direct(&sc),
+            &lib,
+            &faults,
+            &FaultSimConfig {
+                engine: FaultSimEngine::Scalar,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        for lanes in [1usize, 7, 63] {
+            let wide = fault_coverage_impl(
+                &nl,
+                ScanAccess::Direct(&sc),
+                &lib,
+                &faults,
+                &cfg,
+                None,
+                lanes,
+            )
+            .unwrap();
+            assert_eq!(
+                canonical_json(scalar.clone()),
+                canonical_json(wide),
+                "report changed at {lanes} fault lanes per group"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_metrics_snapshot_is_thread_count_blind() {
+        use scanguard_obs::RecorderConfig;
+        let (nl, sc) = scanned();
+        let lib = CellLibrary::st120nm();
+        let faults = enumerate_faults(&nl);
+        let run = |threads: usize| {
+            let rec = Recorder::new(RecorderConfig {
+                metrics: true,
+                ..RecorderConfig::default()
+            });
+            let report = fault_coverage_obs(
+                &nl,
+                ScanAccess::Direct(&sc),
+                &lib,
+                &faults,
+                &FaultSimConfig {
+                    patterns: 8,
+                    threads,
+                    engine: FaultSimEngine::Wide,
+                    ..FaultSimConfig::default()
+                },
+                Some(&rec),
+            )
+            .unwrap();
+            (report, rec.metrics_snapshot())
+        };
+        let (serial_report, serial) = run(1);
+        let (parallel_report, parallel) = run(8);
+        assert_eq!(serial_report, parallel_report);
+        assert_eq!(serial.deterministic_json(), parallel.deterministic_json());
+        assert!(
+            serial.counters["sim.wide.settles"] > 0,
+            "wide settle metrics flow in"
+        );
+        assert!(serial.counters["sim.wide.cell_evals"] > 0);
+    }
+
+    #[test]
+    fn engine_names_round_trip_serde_and_parse() {
+        assert_eq!(FaultSimEngine::parse("wide"), Some(FaultSimEngine::Wide),);
+        assert_eq!(
+            FaultSimEngine::parse("scalar"),
+            Some(FaultSimEngine::Scalar)
+        );
+        assert_eq!(FaultSimEngine::parse("vector"), None);
+        assert_eq!(
+            serde_json::to_string(&FaultSimEngine::Wide).unwrap(),
+            "\"wide\""
+        );
+        let cfg: FaultSimConfig = serde_json::from_str(
+            "{\"patterns\":4,\"seed\":1,\"max_faults\":null,\"hold_low\":[],\"threads\":1}",
+        )
+        .unwrap();
+        assert_eq!(cfg.engine, FaultSimEngine::Scalar, "engine defaults in");
     }
 
     #[test]

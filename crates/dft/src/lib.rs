@@ -56,7 +56,7 @@ mod testmode;
 pub use error::DftError;
 pub use faultsim::{
     enumerate_faults, fault_coverage, fault_coverage_obs, CoverageReport, Fault, FaultSimConfig,
-    ScanAccess, StuckAt,
+    FaultSimEngine, ScanAccess, StuckAt,
 };
 pub use inject::{attach_injector, ErrorPattern, Injector};
 pub use lfsr::Lfsr;

@@ -3,11 +3,13 @@
 //! — the thread count changes wall-clock time and nothing else.
 
 use scanguard_designs::Fifo;
-use scanguard_dft::{enumerate_faults, fault_coverage, CoverageReport, FaultSimConfig, ScanAccess};
+use scanguard_dft::{
+    enumerate_faults, fault_coverage, CoverageReport, FaultSimConfig, FaultSimEngine, ScanAccess,
+};
 use scanguard_dft::{insert_scan, ScanConfig};
 use scanguard_netlist::CellLibrary;
 
-fn fifo_coverage(threads: usize) -> CoverageReport {
+fn fifo_coverage_with(threads: usize, engine: FaultSimEngine) -> CoverageReport {
     let fifo = Fifo::generate(8, 8);
     let mut nl = fifo.netlist;
     let chains = insert_scan(&mut nl, &ScanConfig::with_chains(8)).unwrap();
@@ -22,10 +24,15 @@ fn fifo_coverage(threads: usize) -> CoverageReport {
             patterns: 6,
             max_faults: Some(80),
             threads,
+            engine,
             ..FaultSimConfig::default()
         },
     )
     .expect("fault simulation")
+}
+
+fn fifo_coverage(threads: usize) -> CoverageReport {
+    fifo_coverage_with(threads, FaultSimEngine::Scalar)
 }
 
 #[test]
@@ -41,6 +48,22 @@ fn parallel_report_matches_serial_byte_for_byte() {
         normalize(serial).into_bytes(),
         normalize(parallel).into_bytes()
     );
+}
+
+#[test]
+fn wide_engine_matches_scalar_on_a_real_design() {
+    let normalize = |mut r: CoverageReport| {
+        r.wall_ms = 0.0;
+        serde_json::to_string(&r).unwrap()
+    };
+    let scalar = normalize(fifo_coverage_with(1, FaultSimEngine::Scalar));
+    for threads in [1, 8] {
+        let wide = normalize(fifo_coverage_with(threads, FaultSimEngine::Wide));
+        assert_eq!(
+            scalar, wide,
+            "wide engine diverged on the fifo at {threads} threads"
+        );
+    }
 }
 
 #[test]

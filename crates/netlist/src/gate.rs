@@ -6,7 +6,7 @@
 //! the cells used by the paper's methodology (scan-enabled retention
 //! registers, XOR parity trees, mode muxes).
 
-use crate::{Logic, LogicSet};
+use crate::{Logic, LogicSet, LogicWord};
 
 /// The primitive kinds a [`Cell`](crate::Cell) can instantiate.
 ///
@@ -160,6 +160,51 @@ impl GateKind {
             // Scan flops capture `si` when `se`=1, else `d`.
             // Pin order: [d, si, se].
             GateKind::Sdff | GateKind::Rsdff => Logic::mux(inputs[2], inputs[0], inputs[1]),
+        }
+    }
+
+    /// Evaluates the kind over 64 lanes at once — the bit-parallel
+    /// (PPSFP) counterpart of [`Self::eval`].
+    ///
+    /// Each [`LogicWord`] input carries 64 independent three-valued
+    /// levels; the result's lane `i` is exactly
+    /// `self.eval(&[inputs[0].lane(i), ..])`, including the scan-mux
+    /// next-state semantics of the sequential kinds and full Kleene
+    /// `X` handling (controlling values hide an `X`, XOR is strict).
+    /// The equivalence is pinned exhaustively in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Self::input_count`], like
+    /// [`Self::eval`].
+    #[must_use]
+    pub fn eval_word(self, inputs: &[LogicWord]) -> LogicWord {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "{self:?} expects {} inputs, got {}",
+            self.input_count(),
+            inputs.len()
+        );
+        match self {
+            GateKind::TieLo => LogicWord::ZERO,
+            GateKind::TieHi => LogicWord::ONE,
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And2 => inputs[0].and(inputs[1]),
+            GateKind::And3 => inputs[0].and(inputs[1]).and(inputs[2]),
+            GateKind::Nand2 => !inputs[0].and(inputs[1]),
+            GateKind::Or2 => inputs[0].or(inputs[1]),
+            GateKind::Or3 => inputs[0].or(inputs[1]).or(inputs[2]),
+            GateKind::Nor2 => !inputs[0].or(inputs[1]),
+            GateKind::Xor2 => inputs[0].xor(inputs[1]),
+            GateKind::Xor3 => inputs[0].xor(inputs[1]).xor(inputs[2]),
+            GateKind::Xnor2 => !inputs[0].xor(inputs[1]),
+            GateKind::Mux2 => LogicWord::mux(inputs[0], inputs[1], inputs[2]),
+            GateKind::Dff | GateKind::Rdff => inputs[0],
+            // Scan flops capture `si` when `se`=1, else `d` — pin order
+            // [d, si, se], same as the scalar evaluator.
+            GateKind::Sdff | GateKind::Rsdff => LogicWord::mux(inputs[2], inputs[0], inputs[1]),
         }
     }
 
@@ -393,6 +438,44 @@ mod tests {
             GateKind::And2.eval_set(&[LogicSet::EMPTY, LogicSet::ANY]),
             LogicSet::EMPTY
         );
+    }
+
+    #[test]
+    fn eval_word_matches_eval_exhaustively_lane_by_lane() {
+        // For every kind, pack every concrete input combination (up to
+        // 3^3 = 27) into distinct lanes of one word evaluation and pin
+        // each output lane against the scalar evaluator. One eval_word
+        // call per kind covers the full ternary truth table.
+        use crate::LogicWord;
+        for kind in GateKind::ALL {
+            let n = kind.input_count();
+            let total: usize = 3usize.pow(n as u32);
+            let mut words = vec![LogicWord::ZERO; n];
+            for lane in 0..total {
+                let mut rem = lane;
+                for word in &mut words {
+                    word.set_lane(lane, Logic::ALL[rem % 3]);
+                    rem /= 3;
+                }
+            }
+            let out = kind.eval_word(&words);
+            assert_eq!(out.ones & out.xs, 0, "{kind:?} broke canonical form");
+            for lane in 0..total {
+                let concrete: Vec<Logic> = words.iter().map(|w| w.lane(lane)).collect();
+                assert_eq!(
+                    out.lane(lane),
+                    kind.eval(&concrete),
+                    "{kind:?} on {concrete:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn eval_word_checks_arity() {
+        use crate::LogicWord;
+        let _ = GateKind::And2.eval_word(&[LogicWord::ZERO]);
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod netlist;
 mod report;
 mod timing;
 mod verilog;
+mod word;
 
 pub use builder::NetlistBuilder;
 pub use cell::Cell;
@@ -70,3 +71,4 @@ pub use netlist::Netlist;
 pub use report::AreaReport;
 pub use timing::{critical_path, TimingReport};
 pub use verilog::to_verilog;
+pub use word::LogicWord;

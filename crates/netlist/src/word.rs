@@ -1,0 +1,256 @@
+//! 64-lane bit-parallel logic values for PPSFP-style simulation.
+//!
+//! A [`LogicWord`] packs 64 independent three-valued logic levels into
+//! two bit-planes: `ones` (the value plane) and `xs` (the unknown
+//! plane). Lane `i` of a word is the pair `(ones >> i & 1, xs >> i & 1)`
+//! decoded as `X` when the X-bit is set and `0`/`1` otherwise. The
+//! encoding is kept *canonical* — `ones & xs == 0` — so plane-level
+//! equality is lane-level equality and the gate evaluators below stay
+//! branch-free.
+//!
+//! This is the word-level substrate of the bit-parallel fault simulator:
+//! one settle pass over `LogicWord` nets serves 64 simulation machines
+//! at once (classically, machine 0 carries the golden circuit and lanes
+//! 1..64 carry faulty ones).
+
+use crate::Logic;
+
+/// 64 three-valued logic levels packed into two bit-planes.
+///
+/// All lane-wise operators implement exact Kleene semantics, bit for bit
+/// identical to the scalar [`Logic`] operators — `GateKind::eval_word`
+/// is pinned against `GateKind::eval` lane by lane in tests.
+///
+/// # Examples
+///
+/// ```
+/// use scanguard_netlist::{Logic, LogicWord};
+///
+/// let mut w = LogicWord::splat(Logic::Zero);
+/// w.set_lane(3, Logic::One);
+/// w.set_lane(7, Logic::X);
+/// assert_eq!(w.lane(0), Logic::Zero);
+/// assert_eq!(w.lane(3), Logic::One);
+/// assert_eq!(w.lane(7), Logic::X);
+/// assert_eq!(w.and(LogicWord::splat(Logic::Zero)), LogicWord::splat(Logic::Zero));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LogicWord {
+    /// Value plane: lane bit set = logic 1 (only meaningful where the
+    /// corresponding `xs` bit is clear).
+    pub ones: u64,
+    /// Unknown plane: lane bit set = `X`.
+    pub xs: u64,
+}
+
+impl LogicWord {
+    /// All 64 lanes at `X` — the reset state of every net.
+    pub const ALL_X: LogicWord = LogicWord { ones: 0, xs: !0 };
+
+    /// All 64 lanes at logic 0.
+    pub const ZERO: LogicWord = LogicWord { ones: 0, xs: 0 };
+
+    /// All 64 lanes at logic 1.
+    pub const ONE: LogicWord = LogicWord { ones: !0, xs: 0 };
+
+    /// Broadcasts one scalar level to all 64 lanes.
+    #[must_use]
+    pub fn splat(level: Logic) -> LogicWord {
+        match level {
+            Logic::Zero => LogicWord::ZERO,
+            Logic::One => LogicWord::ONE,
+            Logic::X => LogicWord::ALL_X,
+        }
+    }
+
+    /// Reads one lane back as a scalar level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    #[must_use]
+    pub fn lane(self, lane: usize) -> Logic {
+        assert!(lane < 64, "lane {lane} out of range");
+        if (self.xs >> lane) & 1 != 0 {
+            Logic::X
+        } else if (self.ones >> lane) & 1 != 0 {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Sets one lane to a scalar level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn set_lane(&mut self, lane: usize, level: Logic) {
+        assert!(lane < 64, "lane {lane} out of range");
+        let bit = 1u64 << lane;
+        match level {
+            Logic::Zero => {
+                self.ones &= !bit;
+                self.xs &= !bit;
+            }
+            Logic::One => {
+                self.ones |= bit;
+                self.xs &= !bit;
+            }
+            Logic::X => {
+                self.ones &= !bit;
+                self.xs |= bit;
+            }
+        }
+    }
+
+    /// Lanes holding a known (non-`X`) value, as a mask.
+    #[must_use]
+    pub fn known(self) -> u64 {
+        !self.xs
+    }
+
+    /// Lane-wise Kleene AND: a controlling 0 on either side hides an `X`.
+    #[must_use]
+    pub fn and(self, rhs: LogicWord) -> LogicWord {
+        let zero = (!self.ones & !self.xs) | (!rhs.ones & !rhs.xs);
+        let one = self.ones & rhs.ones;
+        LogicWord {
+            ones: one,
+            xs: !(zero | one),
+        }
+    }
+
+    /// Lane-wise Kleene OR: a controlling 1 on either side hides an `X`.
+    #[must_use]
+    pub fn or(self, rhs: LogicWord) -> LogicWord {
+        let one = self.ones | rhs.ones;
+        let zero = !self.ones & !self.xs & !rhs.ones & !rhs.xs;
+        LogicWord {
+            ones: one,
+            xs: !(zero | one),
+        }
+    }
+
+    /// Lane-wise Kleene XOR: strict in `X` — an unknown on either side
+    /// poisons the lane.
+    #[must_use]
+    pub fn xor(self, rhs: LogicWord) -> LogicWord {
+        let xs = self.xs | rhs.xs;
+        LogicWord {
+            ones: (self.ones ^ rhs.ones) & !xs,
+            xs,
+        }
+    }
+
+    /// Lane-wise ternary multiplexer, matching [`Logic::mux`]: lane
+    /// output is `a` where `sel` is 0, `b` where `sel` is 1, and where
+    /// `sel` is `X` the lane is `X` unless both data inputs agree on a
+    /// known value.
+    #[must_use]
+    pub fn mux(sel: LogicWord, a: LogicWord, b: LogicWord) -> LogicWord {
+        let sel1 = sel.ones;
+        let sel0 = !sel.ones & !sel.xs;
+        let agree = !a.xs & !b.xs & !(a.ones ^ b.ones);
+        LogicWord {
+            ones: (sel0 & a.ones) | (sel1 & b.ones) | (sel.xs & agree & a.ones),
+            xs: (sel0 & a.xs) | (sel1 & b.xs) | (sel.xs & !agree),
+        }
+    }
+}
+
+/// Lane-wise Kleene NOT.
+impl std::ops::Not for LogicWord {
+    type Output = LogicWord;
+
+    fn not(self) -> LogicWord {
+        LogicWord {
+            ones: !self.ones & !self.xs,
+            xs: self.xs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every plane pair produced by the operators must keep the
+    /// canonical `ones & xs == 0` invariant, checked here on every
+    /// assertion.
+    fn check(w: LogicWord) -> LogicWord {
+        assert_eq!(w.ones & w.xs, 0, "non-canonical word {w:?}");
+        w
+    }
+
+    /// A word whose first 9 lanes enumerate all (a, b) level pairs —
+    /// lane k carries (ALL[k % 3], ALL[k / 3]).
+    fn pairs() -> (LogicWord, LogicWord) {
+        let mut a = LogicWord::ZERO;
+        let mut b = LogicWord::ZERO;
+        for k in 0..9 {
+            a.set_lane(k, Logic::ALL[k % 3]);
+            b.set_lane(k, Logic::ALL[k / 3]);
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn splat_and_lane_round_trip() {
+        for level in Logic::ALL {
+            let w = check(LogicWord::splat(level));
+            for lane in 0..64 {
+                assert_eq!(w.lane(lane), level);
+            }
+        }
+        let mut w = LogicWord::ALL_X;
+        for (lane, level) in [(0, Logic::One), (13, Logic::Zero), (63, Logic::X)] {
+            w.set_lane(lane, level);
+            assert_eq!(check(w).lane(lane), level);
+        }
+    }
+
+    #[test]
+    fn binary_operators_match_scalar_kleene_lane_by_lane() {
+        let (a, b) = pairs();
+        let and = check(a.and(b));
+        let or = check(a.or(b));
+        let xor = check(a.xor(b));
+        for k in 0..9 {
+            let (sa, sb) = (a.lane(k), b.lane(k));
+            assert_eq!(and.lane(k), sa & sb, "and {sa} {sb}");
+            assert_eq!(or.lane(k), sa | sb, "or {sa} {sb}");
+            assert_eq!(xor.lane(k), sa ^ sb, "xor {sa} {sb}");
+        }
+    }
+
+    #[test]
+    fn not_matches_scalar() {
+        for level in Logic::ALL {
+            assert_eq!(check(!LogicWord::splat(level)).lane(5), !level);
+        }
+    }
+
+    #[test]
+    fn mux_matches_scalar_over_all_27_combinations() {
+        let mut sel = LogicWord::ZERO;
+        let mut a = LogicWord::ZERO;
+        let mut b = LogicWord::ZERO;
+        for k in 0..27 {
+            sel.set_lane(k, Logic::ALL[k % 3]);
+            a.set_lane(k, Logic::ALL[(k / 3) % 3]);
+            b.set_lane(k, Logic::ALL[k / 9]);
+        }
+        let out = check(LogicWord::mux(sel, a, b));
+        for k in 0..27 {
+            assert_eq!(
+                out.lane(k),
+                Logic::mux(sel.lane(k), a.lane(k), b.lane(k)),
+                "mux({}, {}, {})",
+                sel.lane(k),
+                a.lane(k),
+                b.lane(k)
+            );
+        }
+    }
+}

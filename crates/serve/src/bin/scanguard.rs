@@ -178,6 +178,11 @@ COMMANDS:
   coverage  stuck-at fault coverage of the protected design's scan test
               --depth N --width N --chains N --code CODE --test-width N
               [--patterns N] [--max-faults N] [--threads N] [--json FILE]
+              [--engine scalar|wide] [--deterministic]
+            --engine wide (default) packs 63 faults per 64-lane simulator
+            word; scalar runs one fault per machine. Reports are
+            byte-identical. --deterministic zeroes the wall_ms field so
+            output files can be compared across runs.
   lint      static design-rule check of a synthesized protected design
               [DESIGN | --design fifo32x32|datapath8x16|...] [--chains N]
               [--code CODE] [--test-width N] [--rules SG001,SG102,...]
@@ -244,6 +249,8 @@ const COMMAND_KEYS: &[(&str, &[&str])] = &[
             "max-faults",
             "scope",
             "threads",
+            "engine",
+            "deterministic",
             "json",
         ],
     ),
@@ -286,7 +293,7 @@ const GLOBAL_KEYS: &[&str] = &["log-level", "quiet", "trace", "trace-out", "metr
 
 /// Options that are flags: the value is optional and defaults to
 /// `true`.
-const FLAG_KEYS: &[&str] = &["quiet", "trace", "metrics", "no-prune"];
+const FLAG_KEYS: &[&str] = &["quiet", "trace", "metrics", "no-prune", "deterministic"];
 
 fn command_names() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = COMMAND_KEYS.iter().map(|(c, _)| *c).collect();
@@ -648,7 +655,9 @@ fn cmd_json(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_coverage(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> {
-    use scanguard_dft::{enumerate_faults, fault_coverage_obs, FaultSimConfig, ScanAccess};
+    use scanguard_dft::{
+        enumerate_faults, fault_coverage_obs, FaultSimConfig, FaultSimEngine, ScanAccess,
+    };
     let mut opts = opts.clone();
     opts.entry("test-width".to_owned())
         .or_insert_with(|| "4".to_owned());
@@ -659,6 +668,14 @@ fn cmd_coverage(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String>
         .ok_or("coverage needs --test-width")?;
     let patterns = get(&opts, "patterns", 16usize)?;
     let threads = get(&opts, "threads", num_threads_default())?;
+    // The engines are byte-identical (differentially tested); wide is
+    // simply faster, so it is the default.
+    let engine = match opts.get("engine") {
+        Some(name) => FaultSimEngine::parse(name)
+            .ok_or_else(|| format!("unknown --engine {name:?} (scalar | wide)"))?,
+        None => FaultSimEngine::Wide,
+    };
+    let deterministic = opts.get("deterministic").map(String::as_str) == Some("true");
     let max_faults = match opts.get("max-faults") {
         Some(v) => Some(v.parse().map_err(|_| format!("bad --max-faults {v:?}"))?),
         None => Some(200),
@@ -674,13 +691,14 @@ fn cmd_coverage(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String>
         return Err(format!("unknown --scope {scope:?} (pgc | all)"));
     }
     obs.rec.info(&format!(
-        "{} {scope} faults; simulating {} with {} patterns on {} threads...",
+        "{} {scope} faults; simulating {} with {} patterns on {} threads ({} engine)...",
         faults.len(),
         max_faults.unwrap_or(faults.len()).min(faults.len()),
         patterns,
-        threads
+        threads,
+        engine.name()
     ));
-    let report = fault_coverage_obs(
+    let mut report = fault_coverage_obs(
         &design.netlist,
         ScanAccess::TestMode(&design.chains, tm),
         &design.library,
@@ -691,10 +709,17 @@ fn cmd_coverage(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String>
             max_faults,
             hold_low: design.monitor.hold_low_ports(),
             threads,
+            engine,
         },
         obs.active(),
     )
     .map_err(|e| e.to_string())?;
+    if deterministic {
+        // wall_ms is the one measurement-noise field; zeroing it makes
+        // the printed report and any --json file byte-comparable across
+        // runs, engines and thread counts.
+        report.wall_ms = 0.0;
+    }
     match report.coverage_pct() {
         Some(pct) => println!(
             "detected {}/{} = {pct:.1}% stuck-at coverage through the test interface",

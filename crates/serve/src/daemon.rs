@@ -306,7 +306,9 @@ impl Daemon {
     }
 
     fn do_coverage(&self, req: &Request) -> Result<Value, (ErrorCode, String)> {
-        use scanguard_dft::{enumerate_faults, fault_coverage_obs, FaultSimConfig, ScanAccess};
+        use scanguard_dft::{
+            enumerate_faults, fault_coverage_obs, FaultSimConfig, FaultSimEngine, ScanAccess,
+        };
         let failed = |m: String| (ErrorCode::Failed, m);
         let depth = usize_param(req, "depth", 32).map_err(failed)?;
         let width = usize_param(req, "width", 32).map_err(failed)?;
@@ -334,6 +336,14 @@ impl Daemon {
             "all" => {}
             other => return Err(failed(format!("unknown scope {other:?} (pgc | all)"))),
         }
+        // Coverage requests default to the bit-parallel engine: the
+        // report is byte-identical to scalar's (differentially tested),
+        // so only wall-clock changes — which the contract zeroes anyway.
+        let engine = match req.str_param("engine") {
+            None => FaultSimEngine::Wide,
+            Some(name) => FaultSimEngine::parse(name)
+                .ok_or_else(|| failed(format!("unknown engine {name:?} (scalar | wide)")))?,
+        };
         let grant = self.budget.acquire(want);
         let report = fault_coverage_obs(
             &design.netlist,
@@ -346,6 +356,7 @@ impl Daemon {
                 max_faults: Some(max_faults),
                 hold_low: design.monitor.hold_low_ports(),
                 threads: grant.threads(),
+                engine,
             },
             None,
         )

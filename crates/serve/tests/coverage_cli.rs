@@ -1,0 +1,90 @@
+//! CLI-level byte-identity of the coverage report: with
+//! `--deterministic`, the JSON file the binary writes is identical
+//! across thread counts *and* across fault-simulation engines — the
+//! contract the differential tests pin at the library layer, re-checked
+//! end-to-end through argument parsing, synthesis and report rendering.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_coverage(engine: &str, threads: usize, out: &PathBuf) {
+    let status = Command::new(env!("CARGO_BIN_EXE_scanguard"))
+        .args([
+            "coverage",
+            "--depth",
+            "8",
+            "--width",
+            "8",
+            "--chains",
+            "8",
+            "--code",
+            "hamming:3",
+            "--test-width",
+            "4",
+            "--patterns",
+            "4",
+            "--max-faults",
+            "40",
+            "--engine",
+            engine,
+            "--deterministic",
+            "--quiet",
+            "--threads",
+        ])
+        .arg(threads.to_string())
+        .arg("--json")
+        .arg(out)
+        .status()
+        .expect("coverage run starts");
+    assert!(status.success(), "coverage {engine} x{threads} failed");
+}
+
+#[test]
+fn deterministic_json_is_byte_identical_across_engines_and_threads() {
+    let dir = std::env::temp_dir();
+    let unique = format!("scanguard-coverage-{}", std::process::id());
+    let mut docs = Vec::new();
+    for engine in ["scalar", "wide"] {
+        for threads in [1usize, 8] {
+            let out = dir.join(format!("{unique}-{engine}-{threads}.json"));
+            run_coverage(engine, threads, &out);
+            let doc = std::fs::read(&out).expect("report file");
+            let _ = std::fs::remove_file(&out);
+            assert!(!doc.is_empty(), "empty report for {engine} x{threads}");
+            docs.push((engine, threads, doc));
+        }
+    }
+    let (e0, t0, reference) = &docs[0];
+    for (engine, threads, doc) in &docs[1..] {
+        assert_eq!(
+            doc, reference,
+            "report bytes diverged: {engine} x{threads} vs {e0} x{t0}"
+        );
+    }
+}
+
+#[test]
+fn unknown_engine_is_rejected() {
+    let out = Command::new(env!("CARGO_BIN_EXE_scanguard"))
+        .args([
+            "coverage",
+            "--depth",
+            "8",
+            "--width",
+            "8",
+            "--chains",
+            "8",
+            "--test-width",
+            "4",
+            "--engine",
+            "vector",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("vector"),
+        "error must name the bad engine: {stderr}"
+    );
+}

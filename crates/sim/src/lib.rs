@@ -56,9 +56,12 @@
 mod domain;
 mod energy;
 mod simulator;
+mod tables;
 mod vcd;
+mod wide;
 
 pub use domain::{Domain, DomainId};
 pub use energy::EnergyWindow;
 pub use simulator::Simulator;
 pub use vcd::VcdWriter;
+pub use wide::WideSimulator;

@@ -1,5 +1,6 @@
 //! The levelized cycle simulator.
 
+use crate::tables::SimTables;
 use crate::{Domain, DomainId, EnergyWindow};
 use scanguard_netlist::{CellId, CellLibrary, Logic, NetId, Netlist, NetlistError};
 
@@ -64,17 +65,16 @@ pub struct Simulator<'a> {
     /// any input net (domain power flips, clearing stuck-at forces):
     /// forces the next settle to evaluate everything.
     all_dirty: bool,
-    /// Combinational loads of each net, as positions into `topo_order`
-    /// (the sparse settle's fan-out lists).
-    fanout: Vec<Vec<u32>>,
     /// Per-topo-position "already queued" flags for the sparse settle.
     queued: Vec<bool>,
     /// Work queue of the sparse settle (kept across calls to reuse its
     /// allocation).
     heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>>,
-    /// Sequential cells, precomputed so the capture/commit loops don't
-    /// rescan the whole netlist every cycle.
-    seq: Vec<CellId>,
+    /// Flattened struct-of-arrays cell metadata (kinds, output nets,
+    /// CSR input lists, energy figures, fan-out lists) — everything the
+    /// settle/capture/commit loops read, laid out contiguously so the
+    /// hot path never chases `Netlist` cell pointers.
+    tables: SimTables,
     domain_of: Vec<DomainId>,
     domains: Vec<Domain>,
     /// Nets forced to a constant (stuck-at fault injection). Kept as a
@@ -115,38 +115,20 @@ impl<'a> Simulator<'a> {
     /// [`Netlist::revalidate`]).
     #[must_use]
     pub fn new(netlist: &'a Netlist, lib: &'a CellLibrary) -> Self {
-        let _ = netlist.topo_order(); // assert validated
-        let max_fanin = netlist
-            .cells()
-            .map(|(_, c)| c.inputs().len())
-            .max()
-            .unwrap_or(0);
-        let seq: Vec<CellId> = netlist
-            .cells()
-            .filter(|(_, c)| c.kind().is_sequential())
-            .map(|(id, _)| id)
-            .collect();
-        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); netlist.net_count()];
-        for (pos, &cell_id) in netlist.topo_order().iter().enumerate() {
-            let pos = u32::try_from(pos).expect("combinational cell count fits u32");
-            for &inp in netlist.cell(cell_id).inputs() {
-                fanout[inp.index()].push(pos);
-            }
-        }
+        let tables = SimTables::new(netlist, lib); // asserts validated
         Simulator {
             netlist,
             lib,
             values: vec![Logic::X; netlist.net_count()],
             retention: vec![Logic::X; netlist.cell_count()],
             next_ff: vec![Logic::X; netlist.cell_count()],
-            ibuf: vec![Logic::X; max_fanin],
+            ibuf: vec![Logic::X; tables.max_fanin],
             dirty: vec![false; netlist.net_count()],
             dirty_list: Vec::new(),
             all_dirty: true,
-            queued: vec![false; netlist.topo_order().len()],
+            queued: vec![false; tables.comb_len()],
             heap: std::collections::BinaryHeap::new(),
-            fanout,
-            seq,
+            tables,
             domain_of: vec![DomainId::ALWAYS_ON; netlist.cell_count()],
             domains: vec![Domain::new("always_on", true)],
             stuck: Vec::new(),
@@ -471,38 +453,42 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Evaluates one combinational cell (shared by both settle paths);
-    /// returns the cell's output net index when the output changed.
+    /// Evaluates one combinational cell by its topological position
+    /// (shared by both settle paths); returns the cell's output net
+    /// index when the output changed. All metadata comes from the
+    /// struct-of-arrays tables — no `Netlist` access on this path.
     #[inline]
-    fn eval_cell(&mut self, cell_id: CellId) -> Option<usize> {
-        let cell = self.netlist.cell(cell_id);
-        let n = cell.inputs().len();
+    fn eval_pos(&mut self, pos: usize) -> Option<usize> {
+        let ins = self.tables.c_inputs(pos);
+        let n = ins.len();
         debug_assert!(
             n <= self.ibuf.len(),
-            "cell {cell_id} fan-in {n} exceeds the sized input buffer"
+            "cell at position {pos} fan-in {n} exceeds the sized input buffer"
         );
-        for (k, &inp) in cell.inputs().iter().enumerate() {
-            self.ibuf[k] = self.values[inp.index()];
+        for (k, src) in ins.enumerate() {
+            self.ibuf[k] = self.values[self.tables.c_ins[src] as usize];
         }
-        let powered = self.domains[self.domain_of[cell_id.index()].index()].powered;
+        let kind = self.tables.c_kind[pos];
+        let powered =
+            self.domains[self.domain_of[self.tables.c_cell[pos] as usize].index()].powered;
         let mut new = if powered {
-            cell.kind().eval(&self.ibuf[..n])
+            kind.eval(&self.ibuf[..n])
         } else {
             Logic::X
         };
+        let out = self.tables.c_out[pos] as usize;
         if !self.stuck.is_empty() {
-            if let Some(level) = self.stuck_level(cell.output()) {
+            if let Some(level) = self.stuck_level(NetId::from_index(out)) {
                 new = level;
             }
         }
-        let out = cell.output().index();
         let old = self.values[out];
         if old == new {
             return None;
         }
         if old.is_known() && new.is_known() {
             self.toggles += 1;
-            self.dynamic_pj += self.lib.params(cell.kind()).toggle_energy_pj;
+            self.dynamic_pj += self.tables.c_toggle_pj[pos];
         }
         self.values[out] = new;
         Some(out)
@@ -513,13 +499,21 @@ impl<'a> Simulator<'a> {
     fn settle_full(&mut self) {
         let all = self.all_dirty;
         let mut evals = 0u64;
-        for &cell_id in self.netlist.topo_order() {
-            let cell = self.netlist.cell(cell_id);
-            if !all && !cell.inputs().iter().any(|inp| self.dirty[inp.index()]) {
-                continue;
+        for pos in 0..self.tables.comb_len() {
+            if !all {
+                let mut any = false;
+                for src in self.tables.c_inputs(pos) {
+                    if self.dirty[self.tables.c_ins[src] as usize] {
+                        any = true;
+                        break;
+                    }
+                }
+                if !any {
+                    continue;
+                }
             }
             evals += 1;
-            if let Some(out) = self.eval_cell(cell_id) {
+            if let Some(out) = self.eval_pos(pos) {
                 self.dirty[out] = true;
             }
         }
@@ -543,8 +537,8 @@ impl<'a> Simulator<'a> {
         for k in 0..self.dirty_list.len() {
             let net = self.dirty_list[k] as usize;
             self.dirty[net] = false;
-            for j in 0..self.fanout[net].len() {
-                let pos = self.fanout[net][j];
+            for j in 0..self.tables.fanout[net].len() {
+                let pos = self.tables.fanout[net][j];
                 if !self.queued[pos as usize] {
                     self.queued[pos as usize] = true;
                     heap.push(std::cmp::Reverse(pos));
@@ -557,11 +551,10 @@ impl<'a> Simulator<'a> {
             // Safe to unqueue on pop: loads sit strictly later in the
             // topological order, so a popped cell can never be re-pushed.
             self.queued[pos as usize] = false;
-            let cell_id = self.netlist.topo_order()[pos as usize];
             evals += 1;
-            if let Some(out) = self.eval_cell(cell_id) {
-                for j in 0..self.fanout[out].len() {
-                    let succ = self.fanout[out][j];
+            if let Some(out) = self.eval_pos(pos as usize) {
+                for j in 0..self.tables.fanout[out].len() {
+                    let succ = self.tables.fanout[out][j];
                     if !self.queued[succ as usize] {
                         self.queued[succ as usize] = true;
                         heap.push(std::cmp::Reverse(succ));
@@ -579,50 +572,47 @@ impl<'a> Simulator<'a> {
     pub fn step(&mut self) {
         self.settle();
         // Capture.
-        for s in 0..self.seq.len() {
-            let cell_id = self.seq[s];
-            let cell = self.netlist.cell(cell_id);
-            let dom = &self.domains[self.domain_of[cell_id.index()].index()];
+        for s in 0..self.tables.seq_len() {
+            let idx = self.tables.s_cell[s] as usize;
+            let dom = &self.domains[self.domain_of[idx].index()];
             let next = if !dom.powered {
                 Logic::X
             } else if !dom.clock_en {
                 // Clock gated: hold.
-                self.values[cell.output().index()]
+                self.values[self.tables.s_out[s] as usize]
             } else {
-                let n = cell.inputs().len();
+                let ins = self.tables.s_inputs(s);
+                let n = ins.len();
                 debug_assert!(
                     n <= self.ibuf.len(),
-                    "cell {cell_id} fan-in {n} exceeds the sized input buffer"
+                    "sequential cell {s} fan-in {n} exceeds the sized input buffer"
                 );
-                for (k, &inp) in cell.inputs().iter().enumerate() {
-                    self.ibuf[k] = self.values[inp.index()];
+                for (k, src) in ins.enumerate() {
+                    self.ibuf[k] = self.values[self.tables.s_ins[src] as usize];
                 }
-                cell.kind().eval(&self.ibuf[..n])
+                self.tables.s_kind[s].eval(&self.ibuf[..n])
             };
-            self.next_ff[cell_id.index()] = next;
+            self.next_ff[idx] = next;
         }
         // Commit + clock energy.
-        for s in 0..self.seq.len() {
-            let cell_id = self.seq[s];
-            let cell = self.netlist.cell(cell_id);
-            let idx = cell_id.index();
+        for s in 0..self.tables.seq_len() {
+            let idx = self.tables.s_cell[s] as usize;
             let dom = &self.domains[self.domain_of[idx].index()];
-            let params = self.lib.params(cell.kind());
             if dom.powered && dom.clock_en {
-                self.dynamic_pj += params.clock_energy_pj;
+                self.dynamic_pj += self.tables.s_clock_pj[s];
             }
-            let out = cell.output().index();
+            let out = self.tables.s_out[s] as usize;
             let old = self.values[out];
             let mut new = self.next_ff[idx];
             if !self.stuck.is_empty() {
-                if let Some(level) = self.stuck_level(cell.output()) {
+                if let Some(level) = self.stuck_level(NetId::from_index(out)) {
                     new = level;
                 }
             }
             if old != new {
                 if old.is_known() && new.is_known() {
                     self.toggles += 1;
-                    self.dynamic_pj += params.toggle_energy_pj;
+                    self.dynamic_pj += self.tables.s_toggle_pj[s];
                 }
                 self.values[out] = new;
                 if !self.dirty[out] {
@@ -972,6 +962,56 @@ mod tests {
         sim.set_retain(pd, false);
         sim.settle();
         check(&sim);
+    }
+
+    #[test]
+    fn mixed_po_and_seq_fanout_survives_the_sparse_worklist() {
+        // Audit regression for the incremental dirty-net worklist: a
+        // combinational cell whose output feeds BOTH a primary output
+        // and a sequential cell gets no combinational fan-out entry for
+        // either load (`fanout` only lists comb topo positions), so the
+        // sparse settle never re-queues anything for it. That is
+        // correct — eval writes the value plane immediately, and both
+        // the PO read and the capture loop read the value plane
+        // directly, not the worklist — but nothing pinned it. This
+        // drives single-net frontiers (guaranteeing the sparse path)
+        // and checks the PO and the captured flop value every cycle.
+        let mut b = NetlistBuilder::new("shared_load");
+        let a = b.input("a");
+        let c = b.input("c");
+        let g = b.xor2(a, c);
+        b.output("g", g); // primary-output load
+        let (q, ff) = b.dff("r", g); // sequential load of the same net
+        b.output("q", q);
+        let nl = b.finish().unwrap();
+        let l = lib();
+        let mut sim = Simulator::new(&nl, &l);
+        sim.set_port("a", Logic::Zero).unwrap();
+        sim.set_port("c", Logic::Zero).unwrap();
+        sim.step(); // flush the initial all-dirty full pass
+        for i in 0..8 {
+            // Exactly one input flips per cycle: frontier of 1, far
+            // below the sparse limit.
+            let level = Logic::from(i % 2 == 0);
+            if i % 2 == 0 {
+                sim.set_port("a", level).unwrap();
+            } else {
+                sim.set_port("c", level).unwrap();
+            }
+            let expect = sim.port_value("a").unwrap() ^ sim.port_value("c").unwrap();
+            sim.settle();
+            assert_eq!(
+                sim.port_value("g").unwrap(),
+                expect,
+                "PO stale after sparse settle, cycle {i}"
+            );
+            sim.step();
+            assert_eq!(
+                sim.ff_value(ff),
+                expect,
+                "flop captured a stale value, cycle {i}"
+            );
+        }
     }
 
     #[test]

@@ -211,6 +211,68 @@ mod tests {
     }
 
     #[test]
+    fn documents_with_95_plus_signals_keep_ids_unique_end_to_end() {
+        // Past index 93 the base-94 encoding rolls over to multi-char
+        // identifiers ("!!", "\"!", ...). A single-char `(b'!' + n % 94)`
+        // mapping would silently alias signal 94 onto signal 0 and a
+        // waveform viewer would merge them — so pin uniqueness through
+        // the full document, not just the `ident` helper: every `$var`
+        // id distinct, and the initial sample emits exactly one change
+        // record per signal under its own id.
+        const N: usize = 120;
+        let mut b = NetlistBuilder::new("many");
+        let mut nets = Vec::new();
+        for i in 0..N {
+            nets.push(b.input(&format!("p{i}")));
+        }
+        let y = b.or_tree(&nets);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let lib = CellLibrary::st120nm();
+        let mut sim = Simulator::new(&nl, &lib);
+        let mut vcd = VcdWriter::new("many", 1);
+        for (i, &net) in nets.iter().enumerate() {
+            sim.set_net(net, Logic::from(i % 2 == 0));
+            vcd.watch(&format!("p{i}"), net);
+        }
+        sim.settle();
+        vcd.sample(&sim);
+        let doc = vcd.finish();
+
+        // All declared ids are distinct and multi-char ones appear.
+        let var_ids: Vec<&str> = doc
+            .lines()
+            .filter(|l| l.starts_with("$var wire 1 "))
+            .map(|l| l.split_whitespace().nth(3).unwrap())
+            .collect();
+        assert_eq!(var_ids.len(), N);
+        let mut dedup: Vec<&str> = var_ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), N, "duplicate VCD ids in $var section");
+        assert!(
+            var_ids.iter().any(|id| id.len() > 1),
+            "95+ signals must use multi-char ids"
+        );
+
+        // The initial timestep records each signal exactly once, under
+        // the id its $var line declared.
+        let changes = doc.split("#0\n").nth(1).expect("initial timestep");
+        let mut recorded: Vec<&str> = changes
+            .lines()
+            .take_while(|l| !l.starts_with('#'))
+            .map(|l| &l[1..]) // strip the 1-char value
+            .collect();
+        assert_eq!(recorded.len(), N, "one change record per signal");
+        recorded.sort_unstable();
+        recorded.dedup();
+        assert_eq!(recorded.len(), N, "aliased change records");
+        for id in recorded {
+            assert!(var_ids.contains(&id), "undeclared id {id:?} in changes");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "before the first sample")]
     fn watching_after_sampling_panics() {
         let mut b = NetlistBuilder::new("t");

@@ -109,6 +109,7 @@ fn fault_coverage_survives_monitor_insertion() {
         max_faults: None,
         hold_low: protected.monitor.hold_low_ports(),
         threads: 4,
+        ..FaultSimConfig::default()
     };
     let plain_cfg = FaultSimConfig {
         hold_low: vec![],
