@@ -872,6 +872,7 @@ fn fault_coverage_impl(
     if let Some(rec) = obs {
         rec.counter("dft.faults").add(sampled.len() as u64);
         rec.counter("dft.faults.detected").add(detected as u64);
+        rec.counter("dft.patterns").add(cfg.patterns as u64);
         rec.counter("dft.cycles.simulated").add(simulated_cycles);
         rec.counter("dft.cycles.dropped").add(dropped_cycles);
     }

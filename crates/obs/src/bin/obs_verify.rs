@@ -1,21 +1,33 @@
 //! `obs-verify` — schema validator for emitted trace files.
 //!
 //! ```text
-//! obs-verify events.jsonl   # one scanguard-obs Event per line
-//! obs-verify trace.json     # Chrome trace-event JSON
+//! obs-verify events.jsonl             # one scanguard-obs Event per line
+//! obs-verify trace.json               # Chrome trace-event JSON
+//! obs-verify --profile events.jsonl   # + fold into a span profile and
+//!                                     #   check the telescope identity
 //! ```
+//!
+//! `--profile` additionally builds the wall-time profile over the
+//! event stream and verifies trace/profile consistency: spans must be
+//! well-nested per lane and every node's `self + Σ child-total` must
+//! telescope exactly to its `total` (a violation means the trace's
+//! timestamps are inconsistent — a child outliving its parent).
 //!
 //! Exits non-zero (naming the offending line/event) when the file does
 //! not conform; CI runs it against the coverage smoke run's output.
 
-use scanguard_obs::Event;
+use scanguard_obs::{Event, Profile};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let profile_mode = args.iter().position(|a| a == "--profile");
+    if let Some(i) = profile_mode {
+        args.remove(i);
+    }
     let [path] = args.as_slice() else {
-        eprintln!("usage: obs-verify <events.jsonl | trace.json>");
+        eprintln!("usage: obs-verify [--profile] <events.jsonl | trace.json>");
         return ExitCode::FAILURE;
     };
     let doc = match std::fs::read_to_string(path) {
@@ -25,7 +37,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = if path.ends_with(".jsonl") {
+    let result = if profile_mode.is_some() {
+        verify_profile(&doc, path)
+    } else if path.ends_with(".jsonl") {
         verify_jsonl(&doc)
     } else {
         verify_chrome(&doc)
@@ -40,6 +54,32 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `--profile` mode: the stream must pass the plain JSONL checks AND
+/// fold into a consistent wall-time profile — spans well-nested per
+/// lane, telescope identity (`self + Σ child-total == total`) exact on
+/// every call-tree node.
+fn verify_profile(doc: &str, path: &str) -> Result<String, String> {
+    if !path.ends_with(".jsonl") {
+        return Err("--profile needs the .jsonl event stream, not a Chrome trace".to_owned());
+    }
+    verify_jsonl(doc)?;
+    let mut events = Vec::new();
+    for (i, line) in doc.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: Event = serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(ev);
+    }
+    let profile = Profile::from_events(&events)?;
+    profile.verify()?;
+    Ok(format!(
+        "{} spans on {} lanes fold into a consistent profile",
+        profile.spans,
+        profile.lanes.len()
+    ))
 }
 
 /// Every line must deserialize as an [`Event`], with unique `seq`.

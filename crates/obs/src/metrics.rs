@@ -134,6 +134,66 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0..=1.0`) estimated from the log2 buckets:
+    /// the target rank is located by cumulative count, then linearly
+    /// interpolated across the bucket's value range `[lo, hi]`. Exact
+    /// for bucket 0 (zeros); within one bucket width otherwise; `0.0`
+    /// for an empty histogram. The estimate is clamped to the recorded
+    /// `[min, max]`, so `percentile(1.0)` returns the true maximum.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for &(lo, n) in &self.buckets {
+            let before = cumulative as f64;
+            cumulative += n;
+            if (cumulative as f64) >= target {
+                let hi = bucket_hi(lo);
+                let frac = if n == 0 {
+                    0.0
+                } else {
+                    ((target - before) / n as f64).clamp(0.0, 1.0)
+                };
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Median estimate ([`percentile`](Self::percentile) at 0.5).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+}
+
+/// Inclusive upper bound of the log2 bucket starting at `lo`.
+fn bucket_hi(lo: u64) -> u64 {
+    if lo == 0 {
+        0
+    } else {
+        lo.checked_mul(2).map_or(u64::MAX, |hi| hi - 1)
+    }
+}
+
 impl HistoCell {
     pub(crate) fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
@@ -248,6 +308,83 @@ mod tests {
         h.record(42);
         // Nothing to observe — the point is that none of this panics or
         // allocates.
+    }
+
+    #[test]
+    fn percentiles_of_an_empty_histogram_are_zero() {
+        let cell = Arc::new(HistoCell::new(false));
+        let s = cell.snapshot();
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.percentile(1.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_within_a_single_bucket_interpolate_its_range() {
+        let cell = Arc::new(HistoCell::new(false));
+        let h = HistogramHandle(Some(cell.clone()));
+        // 100 samples all in bucket [16, 32).
+        for _ in 0..100 {
+            h.record(20);
+        }
+        let s = cell.snapshot();
+        let p50 = s.p50();
+        assert!(
+            (16.0..32.0).contains(&p50),
+            "p50 must land in the bucket, got {p50}"
+        );
+        // Clamped to the recorded extremes: max is exact.
+        assert_eq!(s.percentile(1.0), 20.0);
+        assert_eq!(s.percentile(0.0), 20.0);
+    }
+
+    #[test]
+    fn percentiles_cross_buckets_at_the_right_rank() {
+        let cell = Arc::new(HistoCell::new(false));
+        let h = HistogramHandle(Some(cell.clone()));
+        // 90 small samples, 10 large ones: p50 stays small, p99 large.
+        for _ in 0..90 {
+            h.record(4);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let s = cell.snapshot();
+        assert!(
+            s.p50() < 8.0,
+            "p50 {} must sit in the [4,8) bucket",
+            s.p50()
+        );
+        assert!(
+            s.p99() >= 512.0,
+            "p99 {} must reach the large bucket",
+            s.p99()
+        );
+        assert!(s.p99() <= 1000.0, "p99 {} clamps to the max", s.p99());
+    }
+
+    #[test]
+    fn percentiles_survive_saturating_values() {
+        let cell = Arc::new(HistoCell::new(false));
+        let h = HistogramHandle(Some(cell.clone()));
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = cell.snapshot();
+        assert_eq!(s.percentile(1.0), u64::MAX as f64);
+        assert!(s.p50() >= (1u64 << 63) as f64, "p50 in the top bucket");
+        assert!(s.p50().is_finite());
+    }
+
+    #[test]
+    fn zeros_bucket_is_exact() {
+        let cell = Arc::new(HistoCell::new(false));
+        let h = HistogramHandle(Some(cell.clone()));
+        for _ in 0..5 {
+            h.record(0);
+        }
+        h.record(100);
+        let s = cell.snapshot();
+        assert_eq!(s.p50(), 0.0);
     }
 
     #[test]

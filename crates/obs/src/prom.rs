@@ -1,0 +1,224 @@
+//! Prometheus text exposition (format version 0.0.4) over a
+//! [`MetricsSnapshot`].
+//!
+//! Hand-rolled writer, no dependency: the format is line-oriented —
+//! `# TYPE` headers followed by `name{labels} value` samples — and the
+//! only subtlety is histograms, which Prometheus models as *cumulative*
+//! buckets keyed by an inclusive upper bound label `le`. Our log2
+//! buckets `[2^(b-1), 2^b)` hold integers, so bucket `b` maps exactly
+//! onto `le="2^b - 1"`, and the mandatory `+Inf` bucket carries the
+//! total count.
+//!
+//! Metric names are sanitized into the Prometheus grammar
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*`) under a `scanguard_` namespace:
+//! `serve.requests` becomes `scanguard_serve_requests_total`. Counter
+//! samples get the conventional `_total` suffix; histograms and gauges
+//! keep their bare name. Output order is deterministic (sorted
+//! registries, caller-ordered gauges) so the exposition body is stable
+//! for a stable snapshot.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// The `Content-Type` a Prometheus scraper expects for this body.
+pub const PROM_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Sanitizes one metric name into the Prometheus grammar under the
+/// `scanguard_` namespace (dots and any other illegal byte become
+/// underscores).
+#[must_use]
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("scanguard_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats a float the way Prometheus expects (plain decimal; integers
+/// without a trailing `.0` are fine — scrapers parse both).
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else if v.is_nan() {
+        "NaN".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_counter(out: &mut String, name: &str, value: u64) {
+    let n = prom_name(name);
+    let _ = writeln!(out, "# TYPE {n}_total counter");
+    let _ = writeln!(out, "{n}_total {value}");
+}
+
+fn write_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let n = prom_name(name);
+    let _ = writeln!(out, "# TYPE {n} histogram");
+    let mut cumulative = 0u64;
+    for &(lo, count) in &h.buckets {
+        cumulative += count;
+        // Inclusive upper bound of the log2 bucket starting at `lo`:
+        // bucket 0 holds only zeros; bucket [2^(b-1), 2^b) of integers
+        // tops out at 2^b - 1 (u64::MAX for the last bucket, which
+        // Prometheus spells +Inf).
+        let le = if lo == 0 {
+            "0".to_owned()
+        } else {
+            match lo.checked_mul(2) {
+                Some(hi) => (hi - 1).to_string(),
+                None => "+Inf".to_owned(),
+            }
+        };
+        let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let top_is_inf = h
+        .buckets
+        .last()
+        .is_some_and(|&(lo, _)| lo.checked_mul(2).is_none());
+    if !top_is_inf {
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+    }
+    let _ = writeln!(out, "{n}_sum {}", h.sum);
+    let _ = writeln!(out, "{n}_count {}", h.count);
+}
+
+/// Renders `snap` plus caller-supplied gauges (uptime, queue depth,
+/// derived rates) as one Prometheus 0.0.4 exposition body.
+///
+/// Deterministic and volatile sections both export — a scraper wants
+/// everything, and the deterministic/volatile split is a *comparison*
+/// contract, not a visibility one.
+#[must_use]
+pub fn to_prometheus(snap: &MetricsSnapshot, gauges: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    for (name, &value) in &snap.counters {
+        write_counter(&mut out, name, value);
+    }
+    for (name, &value) in &snap.volatile {
+        write_counter(&mut out, name, value);
+    }
+    for (name, h) in &snap.histograms {
+        write_histogram(&mut out, name, h);
+    }
+    for (name, h) in &snap.volatile_histograms {
+        write_histogram(&mut out, name, h);
+    }
+    for (name, value) in gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", fmt_f64(*value));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, RecorderConfig};
+
+    fn snapshot_with(f: impl FnOnce(&Recorder)) -> MetricsSnapshot {
+        let rec = Recorder::new(RecorderConfig {
+            metrics: true,
+            ..RecorderConfig::default()
+        });
+        f(&rec);
+        rec.metrics_snapshot()
+    }
+
+    #[test]
+    fn names_are_sanitized_into_the_grammar() {
+        assert_eq!(prom_name("serve.requests"), "scanguard_serve_requests");
+        assert_eq!(
+            prom_name("par.worker.00.busy_ns"),
+            "scanguard_par_worker_00_busy_ns"
+        );
+        assert_eq!(prom_name("a-b c"), "scanguard_a_b_c");
+    }
+
+    #[test]
+    fn counters_export_with_total_suffix_and_type_line() {
+        let snap = snapshot_with(|rec| rec.counter("serve.requests").add(42));
+        let body = to_prometheus(&snap, &[]);
+        assert!(body.contains("# TYPE scanguard_serve_requests_total counter"));
+        assert!(
+            body.contains("\nscanguard_serve_requests_total 42\n") || body.starts_with("# TYPE")
+        );
+        assert!(body
+            .lines()
+            .any(|l| l == "scanguard_serve_requests_total 42"));
+    }
+
+    #[test]
+    fn histograms_export_cumulative_buckets() {
+        let snap = snapshot_with(|rec| {
+            let h = rec.histogram("dft.fault_cycles");
+            for v in [0, 1, 1, 3, 16] {
+                h.record(v);
+            }
+        });
+        let body = to_prometheus(&snap, &[]);
+        let lines: Vec<&str> = body
+            .lines()
+            .filter(|l| l.starts_with("scanguard_dft_fault_cycles"))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                "scanguard_dft_fault_cycles_bucket{le=\"0\"} 1",
+                "scanguard_dft_fault_cycles_bucket{le=\"1\"} 3",
+                "scanguard_dft_fault_cycles_bucket{le=\"3\"} 4",
+                "scanguard_dft_fault_cycles_bucket{le=\"31\"} 5",
+                "scanguard_dft_fault_cycles_bucket{le=\"+Inf\"} 5",
+                "scanguard_dft_fault_cycles_sum 21",
+                "scanguard_dft_fault_cycles_count 5",
+            ]
+        );
+    }
+
+    #[test]
+    fn saturating_top_bucket_is_inf_not_duplicated() {
+        let snap = snapshot_with(|rec| rec.histogram("h").record(u64::MAX));
+        let body = to_prometheus(&snap, &[]);
+        let inf_lines = body.lines().filter(|l| l.contains("le=\"+Inf\"")).count();
+        assert_eq!(inf_lines, 1, "exactly one +Inf bucket:\n{body}");
+        assert!(body.contains("scanguard_h_count 1"));
+    }
+
+    #[test]
+    fn gauges_export_in_caller_order() {
+        let snap = snapshot_with(|_| {});
+        let body = to_prometheus(
+            &snap,
+            &[
+                ("serve.uptime_ms".to_owned(), 1234.0),
+                ("rate.requests_per_s".to_owned(), 2.5),
+            ],
+        );
+        assert!(body.contains("# TYPE scanguard_serve_uptime_ms gauge"));
+        assert!(body.lines().any(|l| l == "scanguard_serve_uptime_ms 1234"));
+        assert!(body
+            .lines()
+            .any(|l| l == "scanguard_rate_requests_per_s 2.5"));
+    }
+
+    #[test]
+    fn volatile_metrics_are_exported_too() {
+        let snap = snapshot_with(|rec| {
+            rec.counter_volatile("par.workers").add(4);
+            rec.histogram_volatile("serve.request_latency_us")
+                .record(100);
+        });
+        let body = to_prometheus(&snap, &[]);
+        assert!(body.contains("scanguard_par_workers_total 4"));
+        assert!(body.contains("scanguard_serve_request_latency_us_count 1"));
+    }
+}

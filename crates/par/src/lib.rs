@@ -44,6 +44,7 @@ pub struct PoolBudget {
     slots: usize,
     free: Mutex<usize>,
     freed: Condvar,
+    waiters: AtomicUsize,
 }
 
 impl PoolBudget {
@@ -55,6 +56,7 @@ impl PoolBudget {
             slots,
             free: Mutex::new(slots),
             freed: Condvar::new(),
+            waiters: AtomicUsize::new(0),
         }
     }
 
@@ -74,6 +76,14 @@ impl PoolBudget {
         *self.free.lock().expect("budget lock")
     }
 
+    /// Requests currently blocked in [`acquire`](Self::acquire) waiting
+    /// for a slot to free — the daemon's queue depth gauge. Zero means
+    /// every arriving request got at least one slot immediately.
+    #[must_use]
+    pub fn waiters(&self) -> usize {
+        self.waiters.load(Ordering::Relaxed)
+    }
+
     /// Claims up to `want` slots (at least 1), blocking while none are
     /// free. The grant returns its slots on drop.
     ///
@@ -84,8 +94,12 @@ impl PoolBudget {
     pub fn acquire(&self, want: usize) -> BudgetGrant<'_> {
         let want = want.max(1);
         let mut free = self.free.lock().expect("budget lock");
-        while *free == 0 {
-            free = self.freed.wait(free).expect("budget lock");
+        if *free == 0 {
+            self.waiters.fetch_add(1, Ordering::Relaxed);
+            while *free == 0 {
+                free = self.freed.wait(free).expect("budget lock");
+            }
+            self.waiters.fetch_sub(1, Ordering::Relaxed);
         }
         let granted = want.min(*free);
         *free -= granted;
@@ -378,10 +392,12 @@ mod tests {
         std::thread::scope(|s| {
             let waiter = s.spawn(|| budget.acquire(1).threads());
             std::thread::sleep(std::time::Duration::from_millis(30));
+            assert_eq!(budget.waiters(), 1, "blocked acquire shows as a waiter");
             drop(held);
             assert_eq!(waiter.join().unwrap(), 1);
         });
         assert!(t0.elapsed().as_millis() >= 30, "acquire must have blocked");
+        assert_eq!(budget.waiters(), 0, "queue drains back to zero");
     }
 
     #[test]

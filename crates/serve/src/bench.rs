@@ -1,0 +1,281 @@
+//! `scanguard bench`: the fixed perf-trajectory workload matrix.
+//!
+//! One number per release is worthless for spotting regressions — the
+//! point of a bench harness is a *trajectory*: the same pinned
+//! workloads, run the same way, emitting the same JSON schema every
+//! PR, so `BENCH_8.json` can be diffed against `BENCH_9.json` without
+//! parsing archaeology.
+//!
+//! The matrix reuses the daemon end to end (each workload is one
+//! NDJSON request against a fresh in-process [`Daemon`]), so what is
+//! measured is exactly what `scanguard serve` executes: lint on the
+//! paper design, scalar-vs-wide fault-simulation coverage on
+//! `fifo8x8`/`fifo32x32`, and an `explore` sweep over a small space.
+//! Seeds are pinned (the daemon fixes the coverage PRNG seed and
+//! `explore` is deterministic by contract), so the work counters —
+//! cycles simulated, cells evaluated — are byte-stable; wall-clock and
+//! peak RSS are the volatile payload, and `deterministic` zeroes them
+//! so two runs of the same binary are byte-identical.
+
+use crate::daemon::{Daemon, ServeConfig};
+use scanguard_obs::{Level, MetricsSnapshot};
+use serde::{Serialize, Value};
+use std::time::Instant;
+
+/// How a bench run is provisioned.
+#[derive(Debug, Clone, Default)]
+pub struct BenchConfig {
+    /// Drop the heavy workloads (the `fifo32x32` coverage pair) and
+    /// shrink the explore sweep — the CI smoke setting.
+    pub quick: bool,
+    /// Zero wall-clock and RSS so the report is byte-identical across
+    /// runs (the work counters already are).
+    pub deterministic: bool,
+    /// Worker threads per workload (0 = the daemon default).
+    pub threads: usize,
+}
+
+/// One workload's measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct BenchWorkload {
+    /// Stable workload name (`coverage-wide-fifo8x8`, ...).
+    pub name: String,
+    /// Simulation engine exercised (`scalar` | `wide` | `n/a`).
+    pub engine: String,
+    /// Wall milliseconds for the request (0 when deterministic).
+    pub wall_ms: f64,
+    /// Simulator cycles run by the workload (scalar + dropped).
+    pub cycles: u64,
+    /// Cell evaluations across both engines.
+    pub cell_evals: u64,
+    /// The request answered `ok` (a failed workload still reports, so
+    /// the trajectory shows *what* broke).
+    pub ok: bool,
+}
+
+/// The whole report — the schema `BENCH_N.json` files freeze.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct BenchReport {
+    /// Schema tag; bump only on breaking shape changes.
+    pub schema: String,
+    /// Workspace crate version the binary was built from.
+    pub version: String,
+    /// Worker threads the workloads ran with.
+    pub threads: u64,
+    /// Whether volatile fields were zeroed.
+    pub deterministic: bool,
+    /// The matrix, in fixed order.
+    pub workloads: Vec<BenchWorkload>,
+    /// Peak resident set of the process (`VmHWM`), bytes; 0 when
+    /// deterministic or not on Linux.
+    pub peak_rss_bytes: u64,
+}
+
+impl BenchReport {
+    /// Pretty JSON, key order fixed by declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the encoder's message on failure (cannot happen for
+    /// this tree shape).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+}
+
+/// The fixed request matrix: `(name, engine, request line)`.
+fn matrix(quick: bool, threads: usize) -> Vec<(String, String, String)> {
+    let t = if threads == 0 {
+        String::new()
+    } else {
+        format!(",\"threads\":{threads}")
+    };
+    let coverage = |name: &str, engine: &str, depth: usize, width: usize, chains: usize| {
+        (
+            format!("coverage-{engine}-{name}"),
+            engine.to_owned(),
+            format!(
+                "{{\"id\":\"bench\",\"type\":\"coverage\",\"depth\":{depth},\"width\":{width},\
+                 \"chains\":{chains},\"patterns\":16,\"max_faults\":200,\"engine\":\"{engine}\"{t}}}"
+            ),
+        )
+    };
+    let mut m = vec![
+        (
+            "lint-fifo32x32".to_owned(),
+            "n/a".to_owned(),
+            format!("{{\"id\":\"bench\",\"type\":\"lint\",\"design\":\"fifo32x32\"{t}}}"),
+        ),
+        coverage("fifo8x8", "scalar", 8, 8, 16),
+        coverage("fifo8x8", "wide", 8, 8, 16),
+    ];
+    if !quick {
+        m.push(coverage("fifo32x32", "scalar", 32, 32, 80));
+        m.push(coverage("fifo32x32", "wide", 32, 32, 80));
+    }
+    let trials = if quick { 10 } else { 40 };
+    m.push((
+        "explore-fifo4x4".to_owned(),
+        "n/a".to_owned(),
+        format!("{{\"id\":\"bench\",\"type\":\"explore\",\"design\":\"fifo4x4\",\"trials\":{trials}{t}}}"),
+    ));
+    m
+}
+
+/// Deterministic-counter delta between two snapshots.
+fn delta(before: &MetricsSnapshot, after: &MetricsSnapshot, key: &str) -> u64 {
+    let b = after.counters.get(key).copied().unwrap_or(0);
+    let a = before.counters.get(key).copied().unwrap_or(0);
+    b.saturating_sub(a)
+}
+
+/// Peak resident set in bytes from `/proc/self/status` (`VmHWM`,
+/// falling back to the instantaneous `VmRSS` on kernels that do not
+/// expose the high-water mark); 0 when the pseudo-file is unavailable
+/// (non-Linux).
+#[must_use]
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    let field = |key: &str| {
+        status.lines().find_map(|line| {
+            let kb: u64 = line
+                .strip_prefix(key)?
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .ok()?;
+            Some(kb * 1024)
+        })
+    };
+    field("VmHWM:").or_else(|| field("VmRSS:")).unwrap_or(0)
+}
+
+/// Runs the matrix against a fresh in-process daemon and assembles the
+/// report.
+///
+/// # Errors
+///
+/// Returns a message when the daemon cannot be built. A workload whose
+/// request errors is reported with `ok: false`, not dropped — the
+/// trajectory should show breakage, not hide it.
+pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
+    let daemon = Daemon::new(&ServeConfig {
+        log_level: Level::Off,
+        sample_interval_ms: 0,
+        ..ServeConfig::default()
+    })?;
+    let rec = daemon.recorder();
+    let mut workloads = Vec::new();
+    for (name, engine, line) in matrix(cfg.quick, cfg.threads) {
+        let before = rec.metrics_snapshot();
+        let t0 = Instant::now();
+        let resp = daemon.handle_line(&line);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let after = rec.metrics_snapshot();
+        let ok = serde_json::from_str::<Value>(&resp)
+            .ok()
+            .and_then(|v| v.get("ok").and_then(Value::as_bool))
+            .unwrap_or(false);
+        workloads.push(BenchWorkload {
+            name,
+            engine,
+            wall_ms: if cfg.deterministic {
+                0.0
+            } else {
+                // Round to whole microseconds so the JSON never prints
+                // float noise like 12.300000000000001.
+                (wall_ms * 1000.0).round() / 1000.0
+            },
+            cycles: delta(&before, &after, "dft.cycles.simulated")
+                + delta(&before, &after, "dft.cycles.dropped"),
+            cell_evals: delta(&before, &after, "sim.cell_evals")
+                + delta(&before, &after, "sim.wide.cell_evals"),
+            ok,
+        });
+    }
+    Ok(BenchReport {
+        schema: "scanguard-bench-v1".to_owned(),
+        version: env!("CARGO_PKG_VERSION").to_owned(),
+        threads: cfg.threads as u64,
+        deterministic: cfg.deterministic,
+        workloads,
+        peak_rss_bytes: if cfg.deterministic {
+            0
+        } else {
+            peak_rss_bytes()
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_runs_every_workload_ok() {
+        let report = run_bench(&BenchConfig {
+            quick: true,
+            deterministic: true,
+            threads: 2,
+        })
+        .unwrap();
+        assert_eq!(report.schema, "scanguard-bench-v1");
+        assert_eq!(report.workloads.len(), 4);
+        for w in &report.workloads {
+            assert!(w.ok, "workload {} failed", w.name);
+            assert_eq!(w.wall_ms, 0.0, "deterministic zeroes wall");
+        }
+        assert_eq!(report.peak_rss_bytes, 0);
+        // The coverage workloads must have actually simulated.
+        let wide = report
+            .workloads
+            .iter()
+            .find(|w| w.name == "coverage-wide-fifo8x8")
+            .unwrap();
+        assert!(wide.cell_evals > 0);
+    }
+
+    #[test]
+    fn deterministic_reports_are_byte_identical() {
+        let cfg = BenchConfig {
+            quick: true,
+            deterministic: true,
+            threads: 2,
+        };
+        let a = run_bench(&cfg).unwrap().to_json().unwrap();
+        let b = run_bench(&cfg).unwrap().to_json().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scalar_and_wide_agree_on_work_counters() {
+        let report = run_bench(&BenchConfig {
+            quick: true,
+            deterministic: true,
+            threads: 1,
+        })
+        .unwrap();
+        let find = |n: &str| report.workloads.iter().find(|w| w.name == n).unwrap();
+        let scalar = find("coverage-scalar-fifo8x8");
+        let wide = find("coverage-wide-fifo8x8");
+        assert!(scalar.cycles > 0);
+        assert!(wide.cycles > 0);
+    }
+
+    #[test]
+    fn volatile_fields_survive_when_not_deterministic() {
+        let report = run_bench(&BenchConfig {
+            quick: true,
+            deterministic: false,
+            threads: 2,
+        })
+        .unwrap();
+        assert!(report.workloads.iter().any(|w| w.wall_ms > 0.0));
+        if cfg!(target_os = "linux") {
+            assert!(report.peak_rss_bytes > 0);
+        }
+    }
+}

@@ -21,8 +21,10 @@ use scanguard_harness::{
     ablation_rush, cost_sweep, fig10_family, print_table, validation_obs, Fig10Config,
 };
 use scanguard_lint::{lint_netlist, RuleSet, Severity};
-use scanguard_obs::{Level, Recorder, RecorderConfig};
-use scanguard_serve::{serve_stdio, serve_tcp, Daemon, ServeConfig};
+use scanguard_obs::{Level, Profile, Recorder, RecorderConfig};
+use scanguard_serve::{
+    run_bench, serve_http, serve_stdio, serve_tcp, BenchConfig, Daemon, ServeConfig,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,7 +50,7 @@ fn main() -> ExitCode {
         let design = rest.remove(0);
         rest.splice(0..0, ["--design".to_owned(), design]);
     }
-    let parsed = parse_opts(&rest)
+    let parsed = parse_opts(cmd, &rest)
         .and_then(|o| check_keys(cmd, &o).map(|()| o))
         .and_then(|o| Obs::from_opts(&o).map(|obs| (o, obs)));
     let (opts, obs) = match parsed {
@@ -72,6 +74,7 @@ fn main() -> ExitCode {
         "json" => cmd_json(&opts),
         "serve" => cmd_serve(&opts),
         "client" => cmd_client(&opts),
+        "bench" => cmd_bench(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -96,7 +99,10 @@ fn main() -> ExitCode {
 struct Obs {
     rec: std::sync::Arc<Recorder>,
     trace_out: Option<String>,
+    profile_out: Option<String>,
+    metrics_out: Option<String>,
     metrics: bool,
+    deterministic: bool,
 }
 
 impl Obs {
@@ -109,8 +115,10 @@ impl Obs {
             level = Level::Warn;
         }
         let trace_out = opts.get("trace-out").cloned();
-        let trace = get(opts, "trace", false)? || trace_out.is_some();
-        let metrics = get(opts, "metrics", false)?;
+        let profile_out = opts.get("profile-out").cloned();
+        let trace = get(opts, "trace", false)? || trace_out.is_some() || profile_out.is_some();
+        let metrics_out = opts.get("metrics-out").cloned();
+        let metrics = get(opts, "metrics", false)? || metrics_out.is_some();
         Ok(Obs {
             rec: std::sync::Arc::new(Recorder::new(RecorderConfig {
                 level,
@@ -119,7 +127,10 @@ impl Obs {
                 ..RecorderConfig::default()
             })),
             trace_out,
+            profile_out,
+            metrics_out,
             metrics,
+            deterministic: get(opts, "deterministic", false)?,
         })
     }
 
@@ -132,7 +143,9 @@ impl Obs {
 
     /// Flushes the sinks after a successful command: the trace file
     /// (JSONL when the path ends in `.jsonl`, Chrome trace-event JSON
-    /// otherwise) and the metrics snapshot on stdout.
+    /// otherwise), the collapsed-stack profile, and the metrics
+    /// snapshot (to `--metrics-out` when given, stdout otherwise;
+    /// deterministic sections only under `--deterministic`).
     fn finish(&self) -> Result<(), String> {
         if let Some(path) = &self.trace_out {
             let doc = if path.ends_with(".jsonl") {
@@ -143,8 +156,27 @@ impl Obs {
             std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
             println!("wrote {path}");
         }
+        if let Some(path) = &self.profile_out {
+            let profile = Profile::from_events(&self.rec.events())?;
+            profile.verify()?;
+            std::fs::write(path, profile.collapsed())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path} ({} spans folded)", profile.spans);
+        }
         if self.metrics {
-            println!("{}", self.rec.metrics_snapshot().to_json()?);
+            let snap = self.rec.metrics_snapshot();
+            let doc = if self.deterministic {
+                snap.deterministic_json()?
+            } else {
+                snap.to_json()?
+            };
+            match &self.metrics_out {
+                Some(path) => {
+                    std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+                    println!("wrote {path}");
+                }
+                None => println!("{doc}"),
+            }
         }
         Ok(())
     }
@@ -193,10 +225,21 @@ COMMANDS:
               --depth N --width N --chains N --code CODE [--out FILE]
   serve     run the evaluation daemon (NDJSON requests; see PROTOCOL.md)
               [--threads N] [--store DIR] [--store-max-entries N]
-              [--store-max-bytes N] [--tcp HOST:PORT]
+              [--store-max-bytes N] [--tcp HOST:PORT] [--http HOST:PORT]
+              [--sample-ms N]
               (without --tcp, serves stdin -> stdout)
+            --http serves GET /metrics (Prometheus text) and GET /status;
+            --sample-ms sets the telemetry sampler tick (default 1000,
+            0 disables)
   client    send one request line to a TCP daemon and print the response
+            (a metrics response also gets a latency p50/p90/p99 summary
+            on stderr)
               --connect HOST:PORT --request JSON [--timeout-ms N]
+  bench     run the fixed perf-trajectory workload matrix (lint,
+            scalar-vs-wide coverage, explore) against an in-process
+            daemon and report wall/cycles/cell-evals/RSS per workload
+              [--quick] [--json] [--out FILE] [--deterministic]
+              [--threads N]
 
 GLOBAL OPTIONS (any command):
   --version | -V                                print version and cache salt
@@ -206,8 +249,17 @@ GLOBAL OPTIONS (any command):
   --trace-out FILE                              write the trace (implies --trace);
                                                   .jsonl = event stream, else
                                                   Chrome trace JSON (Perfetto)
+  --profile-out FILE                            fold the trace into a wall-time
+                                                  profile and write collapsed
+                                                  stacks (flamegraph.pl input;
+                                                  implies --trace)
   --metrics                                     collect counters/histograms and
                                                   print the snapshot on success
+  --metrics-out FILE                            write the snapshot to FILE instead
+                                                  of stdout (implies --metrics);
+                                                  preferred over the deprecated
+                                                  inline embedding that
+                                                  `coverage --json --metrics` does
 
 CODE: crc16 | hamming:M | secded:M | parity:GW   (M = parity bits, 3..=6)";
 
@@ -283,17 +335,35 @@ const COMMAND_KEYS: &[(&str, &[&str])] = &[
             "store-max-entries",
             "store-max-bytes",
             "tcp",
+            "http",
+            "sample-ms",
         ],
     ),
     ("client", &["connect", "request", "timeout-ms"]),
+    (
+        "bench",
+        &["quick", "json", "out", "deterministic", "threads"],
+    ),
 ];
 
 /// Options every command understands (the observability layer).
-const GLOBAL_KEYS: &[&str] = &["log-level", "quiet", "trace", "trace-out", "metrics"];
+const GLOBAL_KEYS: &[&str] = &[
+    "log-level",
+    "quiet",
+    "trace",
+    "trace-out",
+    "profile-out",
+    "metrics",
+    "metrics-out",
+];
 
 /// Options that are flags: the value is optional and defaults to
 /// `true`.
 const FLAG_KEYS: &[&str] = &["quiet", "trace", "metrics", "no-prune", "deterministic"];
+
+/// Flags that only exist on one command — `bench --json` prints to
+/// stdout, while every other command's `--json` takes a file path.
+const COMMAND_FLAG_KEYS: &[(&str, &[&str])] = &[("bench", &["quick", "json"])];
 
 fn command_names() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = COMMAND_KEYS.iter().map(|(c, _)| *c).collect();
@@ -319,14 +389,18 @@ fn check_keys(cmd: &str, opts: &HashMap<String, String>) -> Result<(), String> {
     }
 }
 
-fn parse_opts(rest: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_opts(cmd: &str, rest: &[String]) -> Result<HashMap<String, String>, String> {
+    let cmd_flags = COMMAND_FLAG_KEYS
+        .iter()
+        .find(|(c, _)| *c == cmd)
+        .map_or(&[][..], |(_, flags)| flags);
     let mut opts = HashMap::new();
     let mut it = rest.iter().peekable();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --key, got {key:?}"));
         };
-        if FLAG_KEYS.contains(&name) {
+        if FLAG_KEYS.contains(&name) || cmd_flags.contains(&name) {
             // A bare flag means true; an explicit true/false still parses.
             let value = match it.peek() {
                 Some(v) if *v == "true" || *v == "false" => it.next().unwrap().clone(),
@@ -757,8 +831,10 @@ fn cmd_coverage(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String>
     if let Some(path) = opts.get("json") {
         // Without --metrics the document is byte-identical to the
         // pre-observability output; with it, the coverage report and the
-        // metrics snapshot ride in one object.
-        let doc = if obs.metrics {
+        // metrics snapshot ride in one object. That inline embedding is
+        // deprecated — pass --metrics-out FILE to keep the coverage
+        // report and the snapshot independently machine-parseable.
+        let doc = if obs.metrics && obs.metrics_out.is_none() {
             let combined = serde::Value::Object(vec![
                 ("coverage".to_owned(), serde::Serialize::to_value(&report)),
                 (
@@ -861,6 +937,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     cfg.store_limits.max_entries = get(opts, "store-max-entries", cfg.store_limits.max_entries)?;
     cfg.store_limits.max_bytes = get(opts, "store-max-bytes", cfg.store_limits.max_bytes)?;
+    cfg.sample_interval_ms = get(opts, "sample-ms", cfg.sample_interval_ms)?;
     let daemon = Arc::new(Daemon::new(&cfg)?);
     install_sigterm();
     let term = Arc::new(AtomicBool::new(false));
@@ -876,7 +953,29 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             std::thread::sleep(std::time::Duration::from_millis(50));
         });
     }
-    match opts.get("tcp") {
+    let sampler = daemon.start_sampler(&term);
+    // The scrape endpoint shares the daemon and its shutdown machinery:
+    // SIGTERM or a `shutdown` request drains both listeners.
+    // On the stdio transport stdout carries NDJSON responses, so the
+    // bound-address announcement must go to stderr there; over TCP
+    // stdout is free and scripts expect the address on it.
+    let announce_on_stdout = opts.contains_key("tcp");
+    let http = opts.get("http").cloned().map(|addr| {
+        let daemon = daemon.clone();
+        let term = term.clone();
+        std::thread::spawn(move || {
+            serve_http(&daemon, &addr, &term, |bound| {
+                if announce_on_stdout {
+                    println!("http listening {bound}");
+                    use std::io::Write;
+                    let _ = std::io::stdout().flush();
+                } else {
+                    eprintln!("http listening {bound}");
+                }
+            })
+        })
+    });
+    let served = match opts.get("tcp") {
         Some(addr) => serve_tcp(&daemon, addr, &term, |bound| {
             // The bound address goes to stdout so scripts binding
             // port 0 can discover the ephemeral port.
@@ -888,6 +987,68 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             eprintln!("serving NDJSON on stdio (one request per line; see PROTOCOL.md)");
             serve_stdio(&daemon, &term)
         }
+    };
+    // The NDJSON transport exits on drain/term, which also stops the
+    // HTTP accept loop and the sampler — join them so their last
+    // handlers land before the process does.
+    if let Some(http) = http {
+        // An EOF'd stdio transport exits without draining; tell the
+        // HTTP loop to stop rather than leaving it to poll forever.
+        daemon.begin_drain();
+        match http.join() {
+            Ok(r) => r?,
+            Err(_) => return Err("http listener panicked".into()),
+        }
+    }
+    if let Some(sampler) = sampler {
+        daemon.begin_drain();
+        let _ = sampler.join();
+    }
+    served
+}
+
+fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
+    let cfg = BenchConfig {
+        quick: get(opts, "quick", false)?,
+        deterministic: get(opts, "deterministic", false)?,
+        threads: get(opts, "threads", 0usize)?,
+    };
+    let report = run_bench(&cfg)?;
+    let doc = report.to_json()?;
+    if get(opts, "json", false)? {
+        println!("{doc}");
+    } else {
+        println!(
+            "scanguard bench v{} ({} workloads{})",
+            report.version,
+            report.workloads.len(),
+            if report.deterministic {
+                ", deterministic"
+            } else {
+                ""
+            }
+        );
+        for w in &report.workloads {
+            println!(
+                "  {:<26} {:<7} {:>10.1} ms  {:>12} cycles  {:>14} cell-evals  {}",
+                w.name,
+                w.engine,
+                w.wall_ms,
+                w.cycles,
+                w.cell_evals,
+                if w.ok { "ok" } else { "FAILED" }
+            );
+        }
+        println!("  peak rss: {} bytes", report.peak_rss_bytes);
+    }
+    if let Some(path) = opts.get("out") {
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if report.workloads.iter().all(|w| w.ok) {
+        Ok(())
+    } else {
+        Err("one or more bench workloads failed".into())
     }
 }
 
@@ -906,10 +1067,41 @@ fn cmd_client(opts: &HashMap<String, String>) -> Result<(), String> {
     println!("{resp}");
     let value: serde::Value =
         serde_json::from_str(&resp).map_err(|e| format!("decoding response: {e}"))?;
+    print_latency_summary(&value);
     match value.get("ok").and_then(serde::Value::as_bool) {
         Some(true) => Ok(()),
         _ => Err("daemon returned an error response".into()),
     }
+}
+
+/// When a `metrics` response carries the request-latency histogram,
+/// summarize it as percentiles on stderr (stdout stays one parseable
+/// response line).
+fn print_latency_summary(resp: &serde::Value) {
+    let Some(hist) = resp
+        .get("result")
+        .and_then(|r| r.get("volatile_histograms"))
+        .and_then(|h| h.get("serve.request_latency_us"))
+    else {
+        return;
+    };
+    let Ok(doc) = serde_json::to_string(hist) else {
+        return;
+    };
+    let Ok(snap) = serde_json::from_str::<scanguard_obs::HistogramSnapshot>(&doc) else {
+        return;
+    };
+    if snap.count == 0 {
+        return;
+    }
+    eprintln!(
+        "serve.request_latency_us: n={} p50={:.0} p90={:.0} p99={:.0} max={}",
+        snap.count,
+        snap.p50(),
+        snap.p90(),
+        snap.p99(),
+        snap.max
+    );
 }
 
 fn cmd_verilog(opts: &HashMap<String, String>) -> Result<(), String> {

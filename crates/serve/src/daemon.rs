@@ -21,7 +21,9 @@ use scanguard_explore::{
     Objective, SpaceReport, SpaceSpec, StoreLimits,
 };
 use scanguard_lint::{RuleSet, Severity};
-use scanguard_obs::{arg, Lane, Level, Recorder, RecorderConfig};
+use scanguard_obs::{
+    arg, to_prometheus, Lane, Level, Recorder, RecorderConfig, SeriesRates, SeriesRing,
+};
 use scanguard_par::{CancelToken, PoolBudget};
 use serde::{Number, Serialize, Value};
 use std::collections::HashMap;
@@ -46,6 +48,11 @@ pub struct ServeConfig {
     pub trace: bool,
     /// stderr log threshold.
     pub log_level: Level,
+    /// Telemetry sampler tick in milliseconds (0 disables the
+    /// background sampler; requests can still sample on demand).
+    pub sample_interval_ms: u64,
+    /// Samples the telemetry ring holds before evicting the oldest.
+    pub series_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +63,8 @@ impl Default for ServeConfig {
             store_limits: StoreLimits::default(),
             trace: false,
             log_level: Level::Info,
+            sample_interval_ms: 1000,
+            series_capacity: 600,
         }
     }
 }
@@ -71,6 +80,8 @@ pub struct Daemon {
     budget: PoolBudget,
     store: Option<DiskStore>,
     rec: Recorder,
+    series: SeriesRing,
+    sample_interval_ms: u64,
     started: Instant,
     requests_total: AtomicU64,
     next_lane: AtomicU32,
@@ -105,6 +116,8 @@ impl Daemon {
                 metrics: true,
                 ..RecorderConfig::default()
             }),
+            series: SeriesRing::new(cfg.series_capacity),
+            sample_interval_ms: cfg.sample_interval_ms,
             started: Instant::now(),
             requests_total: AtomicU64::new(0),
             next_lane: AtomicU32::new(0),
@@ -117,6 +130,88 @@ impl Daemon {
     #[must_use]
     pub fn recorder(&self) -> &Recorder {
         &self.rec
+    }
+
+    /// The telemetry ring the background sampler fills.
+    #[must_use]
+    pub fn series(&self) -> &SeriesRing {
+        &self.series
+    }
+
+    /// Pushes one sample (every counter under one timestamp) into the
+    /// telemetry ring, stamped with milliseconds since daemon start.
+    pub fn sample_now(&self) {
+        let t_ms = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        self.series.record(t_ms, &self.rec.metrics_snapshot());
+    }
+
+    /// Spawns the background sampler thread: one [`sample_now`]
+    /// (Self::sample_now) per configured tick until `term` goes true or
+    /// the daemon drains. Returns `None` when sampling is disabled
+    /// (`sample_interval_ms == 0`).
+    pub fn start_sampler(
+        self: &Arc<Self>,
+        term: &Arc<AtomicBool>,
+    ) -> Option<std::thread::JoinHandle<()>> {
+        if self.sample_interval_ms == 0 {
+            return None;
+        }
+        let daemon = self.clone();
+        let term = term.clone();
+        Some(std::thread::spawn(move || {
+            let tick = Duration::from_millis(daemon.sample_interval_ms);
+            // Seed the ring immediately so one tick suffices for rates.
+            daemon.sample_now();
+            while !term.load(Ordering::SeqCst) && !daemon.is_draining() {
+                // Sleep in short slices so drain/term lands promptly
+                // even with a long sampling interval.
+                let wake = Instant::now() + tick;
+                while Instant::now() < wake {
+                    if term.load(Ordering::SeqCst) || daemon.is_draining() {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(20).min(tick));
+                }
+                daemon.sample_now();
+            }
+        }))
+    }
+
+    /// Windowed per-second rates over the telemetry ring.
+    #[must_use]
+    pub fn rates(&self, window_ms: u64) -> SeriesRates {
+        self.series.rates(window_ms)
+    }
+
+    /// The Prometheus text-exposition body for `GET /metrics`: every
+    /// counter and histogram in the registry plus daemon gauges
+    /// (uptime, in-flight requests, budget occupancy and queue depth)
+    /// and the windowed rates derived from the telemetry ring.
+    #[must_use]
+    pub fn prometheus_body(&self, window_ms: u64) -> String {
+        let snap = self.rec.metrics_snapshot();
+        let uptime = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let mut gauges: Vec<(String, f64)> = vec![
+            ("serve.uptime_ms".to_owned(), uptime as f64),
+            ("serve.inflight".to_owned(), self.inflight_len() as f64),
+            ("serve.budget.slots".to_owned(), self.budget.slots() as f64),
+            (
+                "serve.budget.available".to_owned(),
+                self.budget.available() as f64,
+            ),
+            (
+                "serve.budget.waiters".to_owned(),
+                self.budget.waiters() as f64,
+            ),
+        ];
+        let rates = self.series.rates(window_ms);
+        for (name, v) in &rates.per_second {
+            gauges.push((format!("rate.{name}.per_s"), *v));
+        }
+        for (name, v) in &rates.derived {
+            gauges.push((format!("rate.{name}"), *v));
+        }
+        to_prometheus(&snap, &gauges)
     }
 
     /// The persistent store, when configured.
@@ -358,7 +453,7 @@ impl Daemon {
                 threads: grant.threads(),
                 engine,
             },
-            None,
+            Some(&self.rec),
         )
         .map_err(|e| failed(e.to_string()))?;
         drop(grant);
@@ -392,7 +487,7 @@ impl Daemon {
         let grant = self.budget.acquire(want);
         let env = ExploreEnv {
             threads: grant.threads(),
-            obs: None,
+            obs: Some(&self.rec),
             cancel: Some(token),
             store: self.store.as_ref(),
         };
@@ -472,7 +567,7 @@ impl Daemon {
     fn run_control(&self, req: &Request) -> Result<Value, (ErrorCode, String)> {
         match req.kind.as_str() {
             "status" => Ok(self.status()),
-            "metrics" => Ok(self.rec.metrics_snapshot().to_value()),
+            "metrics" => self.metrics(req),
             "version" => Ok(self.version()),
             "cancel" => self.cancel(req),
             "shutdown" => {
@@ -486,7 +581,41 @@ impl Daemon {
         }
     }
 
-    fn status(&self) -> Value {
+    /// The `metrics` control response: the registry snapshot, plus a
+    /// `series` section (windowed rates from the telemetry ring) when
+    /// `"series": true`, minus everything wall-clock-dependent when
+    /// `"deterministic": true` — volatile sections dropped, rates
+    /// zeroed with their key shape kept, so the payload is
+    /// byte-identical across thread counts and cache temperatures.
+    fn metrics(&self, req: &Request) -> Result<Value, (ErrorCode, String)> {
+        let bad = |m: String| (ErrorCode::BadRequest, m);
+        let want_series = req.bool_param("series", false).map_err(bad)?;
+        let deterministic = req.bool_param("deterministic", false).map_err(bad)?;
+        let window_ms = req.u64_param("window_ms", 10_000).map_err(bad)?;
+        let snap = self.rec.metrics_snapshot();
+        let mut fields = if deterministic {
+            vec![
+                ("counters".to_owned(), Serialize::to_value(&snap.counters)),
+                (
+                    "histograms".to_owned(),
+                    Serialize::to_value(&snap.histograms),
+                ),
+            ]
+        } else {
+            match snap.to_value() {
+                Value::Object(fields) => fields,
+                other => vec![("snapshot".to_owned(), other)],
+            }
+        };
+        if want_series {
+            let rates = self.series.rates(window_ms);
+            let rates = if deterministic { rates.zeroed() } else { rates };
+            fields.push(("series".to_owned(), Serialize::to_value(&rates)));
+        }
+        Ok(Value::Object(fields))
+    }
+
+    pub(crate) fn status(&self) -> Value {
         let store = match &self.store {
             Some(s) => Value::Object(vec![
                 ("salt".to_owned(), Value::Str(s.salt().to_owned())),
@@ -506,6 +635,7 @@ impl Daemon {
                 Value::Object(vec![
                     ("slots".to_owned(), num(self.budget.slots() as u64)),
                     ("available".to_owned(), num(self.budget.available() as u64)),
+                    ("waiters".to_owned(), num(self.budget.waiters() as u64)),
                 ]),
             ),
             ("store".to_owned(), store),

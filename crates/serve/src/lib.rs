@@ -12,18 +12,26 @@
 //!
 //! - [`protocol`] — request/response framing, error codes, id echo.
 //! - [`daemon`] — dispatch, cancellation, deadlines, the drain
-//!   barrier, and the stdio/TCP transports.
+//!   barrier, the telemetry sampler, and the stdio/TCP transports.
+//! - [`http`] — the scrape front-end: `GET /metrics` in Prometheus
+//!   text exposition format, `GET /status` as JSON.
 //! - [`client`] — a one-request blocking TCP client (also what
 //!   `scanguard client` uses).
+//! - [`bench`] — the fixed perf-trajectory workload matrix behind
+//!   `scanguard bench`.
 //!
 //! Determinism: work-request payloads are byte-identical for the same
 //! request at any thread count and any cache temperature; see
 //! `PROTOCOL.md` for the exact contract.
 
+pub mod bench;
 pub mod client;
 pub mod daemon;
+pub mod http;
 pub mod protocol;
 
+pub use bench::{run_bench, BenchConfig, BenchReport};
 pub use client::{request_line, request_value};
 pub use daemon::{parse_code, serve_stdio, serve_tcp, Daemon, ServeConfig};
+pub use http::serve_http;
 pub use protocol::{err_response, ok_response, ErrorCode, Request};

@@ -8,9 +8,11 @@
 //! - work payloads are byte-identical at `threads: 1` vs `threads: 8`,
 //! - SIGTERM drains in-flight work before the process exits.
 
-use scanguard_serve::{request_line, serve_tcp, Daemon, ServeConfig};
+use scanguard_obs::{prom_name, PROM_CONTENT_TYPE};
+use scanguard_serve::{request_line, serve_http, serve_tcp, Daemon, ServeConfig};
 use serde::Value;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -31,13 +33,24 @@ fn scratch(tag: &str) -> PathBuf {
 
 struct Server {
     addr: String,
+    http_addr: Option<String>,
     term: Arc<AtomicBool>,
     handle: Option<thread::JoinHandle<()>>,
+    http_handle: Option<thread::JoinHandle<Result<(), String>>>,
 }
 
 impl Server {
     /// Boots a daemon on an ephemeral loopback port.
     fn start(store_dir: Option<PathBuf>) -> Server {
+        Server::start_full(store_dir, false)
+    }
+
+    /// Boots a daemon with the HTTP scrape endpoint alongside NDJSON.
+    fn start_with_http() -> Server {
+        Server::start_full(None, true)
+    }
+
+    fn start_full(store_dir: Option<PathBuf>, http: bool) -> Server {
         let cfg = ServeConfig {
             slots: 8,
             store_dir,
@@ -58,11 +71,34 @@ impl Server {
         let addr = rx
             .recv_timeout(Duration::from_secs(10))
             .expect("daemon binds");
+        let (http_addr, http_handle) = if http {
+            let (htx, hrx) = mpsc::channel();
+            let d = daemon.clone();
+            let t = term.clone();
+            let h = thread::spawn(move || {
+                serve_http(&d, "127.0.0.1:0", &t, |bound| {
+                    htx.send(bound).expect("report bound http address");
+                })
+            });
+            let a = hrx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("http endpoint binds");
+            (Some(a.to_string()), Some(h))
+        } else {
+            (None, None)
+        };
         Server {
             addr: addr.to_string(),
+            http_addr,
             term,
             handle: Some(handle),
+            http_handle,
         }
+    }
+
+    /// The bound HTTP scrape address (panics without `start_with_http`).
+    fn http_addr(&self) -> &str {
+        self.http_addr.as_deref().expect("http endpoint started")
     }
 
     /// One request, returning the raw response line.
@@ -78,10 +114,17 @@ impl Server {
         v.get("result").expect("ok response has result").clone()
     }
 
-    /// Asks the daemon to drain and joins the accept loop.
+    /// Asks the daemon to drain and joins the accept loop(s). The HTTP
+    /// listener is joined *before* `term` is raised: the drain barrier
+    /// alone must be enough to stop it.
     fn shutdown(mut self) {
         let resp = self.raw(r#"{"id":"bye","type":"shutdown"}"#);
         assert!(resp.contains(r#""ok":true"#), "{resp}");
+        if let Some(h) = self.http_handle.take() {
+            h.join()
+                .expect("http thread exits")
+                .expect("http listener closes cleanly");
+        }
         self.term.store(true, Ordering::SeqCst);
         if let Some(h) = self.handle.take() {
             h.join().expect("server thread exits");
@@ -95,7 +138,30 @@ impl Drop for Server {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.http_handle.take() {
+            let _ = h.join();
+        }
     }
+}
+
+/// One raw HTTP/1.1 GET over a fresh connection; returns the whole
+/// response (head + body) as text.
+fn http_get(addr: &str, path: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("http connect");
+    write!(
+        conn,
+        "GET {path} HTTP/1.1\r\nHost: e2e\r\nAccept: */*\r\n\r\n"
+    )
+    .expect("http request");
+    conn.flush().expect("http flush");
+    let mut resp = String::new();
+    conn.read_to_string(&mut resp).expect("http response");
+    resp
+}
+
+/// Splits an HTTP response into (head, body).
+fn http_parts(resp: &str) -> (&str, &str) {
+    resp.split_once("\r\n\r\n").expect("response has a head")
 }
 
 fn error_code(resp: &str) -> Option<String> {
@@ -314,4 +380,199 @@ fn stdio_binary_round_trips_and_drains_on_sigterm() {
     );
     let status = child.wait().expect("daemon exits");
     assert!(status.success(), "graceful exit expected, got {status}");
+}
+
+/// ISSUE acceptance: a warm daemon's `GET /metrics` Prometheus body
+/// carries the same counter values as the NDJSON `metrics` snapshot
+/// taken in the same instant, and the `shutdown` drain closes the
+/// HTTP listener as cleanly as the work listener.
+#[test]
+fn http_metrics_agree_with_ndjson_and_drain_closes_the_listener() {
+    let server = Server::start_with_http();
+
+    // Warm the daemon with real work so the counters are non-trivial.
+    server.ok(
+        r#"{"id":"w1","type":"lint","design":"fifo8x8","chains":8,"code":"crc16","test_width":4}"#,
+    );
+    server.ok(
+        r#"{"id":"w2","type":"coverage","depth":4,"width":4,"chains":4,"code":"crc16","test_width":4,"patterns":4,"max_faults":16}"#,
+    );
+
+    // Same instant: the daemon is idle, so deterministic counters are
+    // frozen between the NDJSON snapshot and the HTTP scrape — every
+    // one of them must appear in the exposition with the same value.
+    let metrics = server.ok(r#"{"id":"m","type":"metrics"}"#);
+    let Some(Value::Object(counters)) = metrics.get("counters").cloned() else {
+        panic!("metrics response carries a counters object: {metrics:?}");
+    };
+    assert!(!counters.is_empty(), "warm daemon has counters");
+
+    let resp = http_get(server.http_addr(), "/metrics");
+    let (head, body) = http_parts(&resp);
+    assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
+    assert!(
+        head.contains(&format!("Content-Type: {PROM_CONTENT_TYPE}")),
+        "{head}"
+    );
+    for (name, value) in &counters {
+        let value = value.as_u64().expect("counter values are integers");
+        let line = format!("{}_total {value}", prom_name(name));
+        assert!(
+            body.lines().any(|l| l == line),
+            "exposition must carry {line:?}:\n{body}"
+        );
+    }
+    // Histogram shape: cumulative buckets capped by +Inf.
+    assert!(body.contains("_bucket{le=\"+Inf\"}"), "{body}");
+
+    // The drain barrier alone (no SIGTERM) must stop the HTTP accept
+    // loop; shutdown() joins it before raising term and panics if the
+    // listener errors. A post-drain scrape must find the port closed.
+    let http_addr = server.http_addr().to_owned();
+    server.shutdown();
+    assert!(
+        TcpStream::connect(&http_addr).is_err(),
+        "drained daemon must close the scrape listener"
+    );
+}
+
+/// ISSUE satellite: `metrics` with `series: true, deterministic: true`
+/// is byte-identical across worker thread counts — the rate section
+/// keeps its key shape but zeroes every wall-clock-derived number.
+#[test]
+fn deterministic_metrics_with_series_are_thread_count_blind() {
+    let run = |threads: usize| {
+        let server = Server::start(None);
+        server.ok(&format!(
+            r#"{{"id":"w","type":"coverage","depth":4,"width":4,"chains":4,"code":"crc16","test_width":4,"patterns":4,"max_faults":16,"threads":{threads}}}"#
+        ));
+        let resp = server.raw(r#"{"id":"m","type":"metrics","series":true,"deterministic":true}"#);
+        server.shutdown();
+        resp
+    };
+    let one = run(1);
+    let eight = run(8);
+    assert_eq!(
+        one, eight,
+        "deterministic metrics+series must be byte-identical across thread counts"
+    );
+    // The deterministic payload still carries the zeroed series shape.
+    let v: Value = serde_json::from_str(&one).expect("metrics response is JSON");
+    let series = v
+        .get("result")
+        .and_then(|r| r.get("series"))
+        .expect("series section present");
+    assert!(series.get("window_ms").is_some());
+    assert!(series.get("per_second").is_some());
+
+    // The live (non-deterministic) variant exposes the same section
+    // with real samples once the ring has been fed.
+    let server = Server::start(None);
+    server.ok(
+        r#"{"id":"w","type":"lint","design":"fifo8x8","chains":8,"code":"crc16","test_width":4}"#,
+    );
+    let live = server.ok(r#"{"id":"m","type":"metrics","series":true}"#);
+    assert!(
+        live.get("series").and_then(|s| s.get("derived")).is_some(),
+        "live series carries derived gauges: {live:?}"
+    );
+    server.shutdown();
+}
+
+/// ISSUE acceptance: `scanguard bench --json` twice produces
+/// byte-identical reports under `--deterministic` — proven at the
+/// binary level, stdout bytes compared.
+#[test]
+fn bench_binary_reports_are_byte_identical_under_deterministic() {
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_scanguard"))
+            .args([
+                "bench",
+                "--quick",
+                "--json",
+                "--deterministic",
+                "--threads",
+                "2",
+            ])
+            .output()
+            .expect("bench binary runs")
+    };
+    let a = run();
+    assert!(a.status.success(), "bench exits 0");
+    let b = run();
+    assert_eq!(
+        a.stdout, b.stdout,
+        "deterministic bench must be byte-stable"
+    );
+
+    let text = String::from_utf8(a.stdout).expect("bench emits UTF-8");
+    let v: Value = serde_json::from_str(text.trim()).expect("bench emits JSON");
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("scanguard-bench-v1")
+    );
+    let workloads = v
+        .get("workloads")
+        .and_then(Value::as_array)
+        .expect("bench reports workloads");
+    assert!(!workloads.is_empty());
+    for w in workloads {
+        assert_eq!(w.get("ok"), Some(&Value::Bool(true)), "{w:?}");
+    }
+}
+
+/// The binary with `--http` serves Prometheus text over a real socket
+/// and survives SIGTERM with the listener closed cleanly.
+#[test]
+fn http_endpoint_in_the_binary_survives_sigterm() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_scanguard"))
+        .args(["serve", "--threads", "2", "--http", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon binary starts");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut err_reader = BufReader::new(stderr);
+    // On the stdio transport the bound address is announced on stderr
+    // (stdout carries NDJSON responses).
+    let http_addr = loop {
+        let mut line = String::new();
+        let n = err_reader.read_line(&mut line).expect("stderr line");
+        assert!(n > 0, "daemon exited before announcing the http address");
+        if let Some(addr) = line.trim().strip_prefix("http listening ") {
+            break addr.to_owned();
+        }
+    };
+
+    let resp = http_get(&http_addr, "/metrics");
+    let (head, body) = http_parts(&resp);
+    assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
+    assert!(
+        head.contains(&format!("Content-Type: {PROM_CONTENT_TYPE}")),
+        "{head}"
+    );
+    assert!(body.contains("scanguard_serve_uptime_ms"), "{body}");
+
+    // NDJSON on stdio still answers while the scrape endpoint is up.
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut out_reader = BufReader::new(child.stdout.take().expect("piped stdout"));
+    writeln!(stdin, r#"{{"id":1,"type":"version"}}"#).expect("send version");
+    stdin.flush().expect("flush");
+    let mut line = String::new();
+    out_reader.read_line(&mut line).expect("version response");
+    assert!(line.contains(r#""ok":true"#), "{line}");
+
+    let killed = Command::new("kill")
+        .arg("-TERM")
+        .arg(child.id().to_string())
+        .status()
+        .expect("kill runs");
+    assert!(killed.success(), "kill -TERM failed");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "graceful exit expected, got {status}");
+    assert!(
+        TcpStream::connect(&http_addr).is_err(),
+        "terminated daemon must close the scrape listener"
+    );
 }

@@ -100,6 +100,9 @@ struct SimObs {
     settle_full: scanguard_obs::CounterHandle,
     /// Combinational cells evaluated across all settles.
     cell_evals: scanguard_obs::CounterHandle,
+    /// Clock cycles stepped (the telemetry sampler derives cycles/s
+    /// from this).
+    cycles: scanguard_obs::CounterHandle,
     /// Dirty-net frontier size at the start of each settle.
     frontier: scanguard_obs::HistogramHandle,
 }
@@ -142,16 +145,18 @@ impl<'a> Simulator<'a> {
     /// Starts recording incremental-settle statistics into `rec`'s
     /// metrics registry: `sim.settle.sparse` / `sim.settle.full`
     /// (settles per strategy), `sim.cell_evals` (combinational
-    /// evaluations) and the `sim.settle.frontier` histogram (dirty-net
-    /// frontier size per settle). Handles are resolved here, once — the
-    /// per-settle cost is a handful of relaxed atomic adds, with no
-    /// allocation (asserted by the `zero_alloc` integration test), and
-    /// simulation semantics are untouched.
+    /// evaluations), `sim.cycles` (clock steps) and the
+    /// `sim.settle.frontier` histogram (dirty-net frontier size per
+    /// settle). Handles are resolved here, once — the per-settle cost
+    /// is a handful of relaxed atomic adds, with no allocation
+    /// (asserted by the `zero_alloc` integration test), and simulation
+    /// semantics are untouched.
     pub fn attach_obs(&mut self, rec: &scanguard_obs::Recorder) {
         self.obs = Some(SimObs {
             settle_sparse: rec.counter("sim.settle.sparse"),
             settle_full: rec.counter("sim.settle.full"),
             cell_evals: rec.counter("sim.cell_evals"),
+            cycles: rec.counter("sim.cycles"),
             frontier: rec.histogram("sim.settle.frontier"),
         });
     }
@@ -622,6 +627,9 @@ impl<'a> Simulator<'a> {
             }
         }
         self.cycles += 1;
+        if let Some(o) = &self.obs {
+            o.cycles.inc();
+        }
         self.settle();
     }
 

@@ -88,6 +88,9 @@ struct WideObs {
     /// Wide gate evaluations across all settles (each one serves 64
     /// lanes).
     cell_evals: scanguard_obs::CounterHandle,
+    /// Clock cycles stepped (all 64 lanes advance together, so one
+    /// step is one cycle here, not 64).
+    cycles: scanguard_obs::CounterHandle,
 }
 
 impl<'a> WideSimulator<'a> {
@@ -127,15 +130,17 @@ impl<'a> WideSimulator<'a> {
     }
 
     /// Starts recording wide-settle statistics into `rec`'s metrics
-    /// registry: `sim.wide.settles` (settle passes) and
+    /// registry: `sim.wide.settles` (settle passes),
     /// `sim.wide.cell_evals` (word-level gate evaluations — each one
-    /// serves all 64 lanes). Both are commutative sums over
-    /// deterministic runs, so snapshots stay thread-count-blind when
-    /// wide simulations are fanned out over a pool.
+    /// serves all 64 lanes) and `sim.wide.cycles` (clock steps). All
+    /// are commutative sums over deterministic runs, so snapshots stay
+    /// thread-count-blind when wide simulations are fanned out over a
+    /// pool.
     pub fn attach_obs(&mut self, rec: &scanguard_obs::Recorder) {
         self.obs = Some(WideObs {
             settles: rec.counter("sim.wide.settles"),
             cell_evals: rec.counter("sim.wide.cell_evals"),
+            cycles: rec.counter("sim.wide.cycles"),
         });
     }
 
@@ -340,6 +345,9 @@ impl<'a> WideSimulator<'a> {
             self.write_net(out, new);
         }
         self.cycles += 1;
+        if let Some(o) = &self.obs {
+            o.cycles.inc();
+        }
         self.settle();
     }
 }
