@@ -72,6 +72,7 @@ mod error;
 mod monitor;
 mod recovery;
 mod runtime;
+mod sabotage;
 mod synth;
 
 pub use config::CodeChoice;
@@ -83,4 +84,5 @@ pub use error::CoreError;
 pub use monitor::{attach_monitor, MonitorGroup, MonitorHardware};
 pub use recovery::{checkpoint, restore, Checkpoint, RestoreReport};
 pub use runtime::{ProtectedRuntime, SleepWakeReport};
+pub use sabotage::{apply_sabotage, Sabotage};
 pub use synth::{ProtectedDesign, Synthesizer};

@@ -13,7 +13,7 @@ use scanguard_dft::{
     attach_injector, configure_test_mode, insert_scan, Injector, ScanChains, ScanConfig,
     TestModeConfig,
 };
-use scanguard_lint::{lint_design, DesignView, LintReport, RuleSet};
+use scanguard_lint::{lint_design, DesignView, LintReport, MonitorKind, MonitorView, RuleSet};
 use scanguard_netlist::{critical_path, AreaReport, CellLibrary, GateKind, Netlist, TimingReport};
 use scanguard_obs::Recorder;
 
@@ -82,10 +82,35 @@ impl ProtectedDesign {
     /// timing baseline.
     #[must_use]
     pub fn lint_view(&self) -> DesignView<'_> {
+        let mh = &self.monitor;
+        let kind = match mh.code {
+            CodeChoice::Hamming { .. } => MonitorKind::Hamming { extended: false },
+            CodeChoice::ExtendedHamming { .. } => MonitorKind::Hamming { extended: true },
+            CodeChoice::Parity { .. } => MonitorKind::Parity,
+            CodeChoice::Crc16 => MonitorKind::Crc16,
+        };
+        let monitor = (!mh.groups.is_empty()).then(|| MonitorView {
+            kind,
+            groups: mh.groups.len(),
+            group_stride: if mh.groups.len() > 1 {
+                mh.groups[1].first_chain - mh.groups[0].first_chain
+            } else {
+                self.chains.width()
+            },
+            group_data_chains: mh.groups[0].width,
+            mon_en: mh.mon_en,
+            mon_decode: mh.mon_decode,
+            mon_clear: mh.mon_clear,
+            sig_cap: mh.sig_cap,
+            err: mh.err,
+            done: mh.done,
+            chain_len: mh.chain_len,
+        });
         DesignView {
             chains: &self.chains,
             test_mode: self.test_mode.as_ref(),
             monitor_cells: &self.monitor.cells,
+            monitor,
             gated_watermark: self.gated_watermark,
             baseline_functional_ps: Some(self.baseline_timing.functional_ps),
         }

@@ -52,6 +52,7 @@ mod lfsr;
 mod placement;
 mod scan;
 mod testmode;
+mod upsetsim;
 
 pub use error::DftError;
 pub use faultsim::{
@@ -63,3 +64,6 @@ pub use lfsr::Lfsr;
 pub use placement::{insert_scan_placed, ChainOrder, Placement};
 pub use scan::{insert_scan, insert_scan_ordered, FlopStyle, ScanChain, ScanChains, ScanConfig};
 pub use testmode::{configure_test_mode, TestModeConfig};
+pub use upsetsim::{
+    monitor_pass_outcomes, MonitorPassConfig, MonitorPassPorts, UpsetOutcome, UpsetSimEngine,
+};

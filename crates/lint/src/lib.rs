@@ -48,11 +48,13 @@
 mod context;
 mod diag;
 mod rules;
+pub mod upset;
 mod xprop;
 
-pub use context::{Cone, DesignView, LintContext};
+pub use context::{Cone, DesignView, LintContext, MonitorKind, MonitorView};
 pub use diag::{Diagnostic, LintReport, Severity};
 pub use rules::{all_rules, rule_ids, Rule, RuleSet, UnknownRule};
+pub use upset::{UpsetError, UpsetOptions, UpsetReport};
 pub use xprop::XPropContext;
 
 use scanguard_netlist::{CellLibrary, Netlist};
@@ -62,8 +64,12 @@ use scanguard_obs::{arg, Lane, Recorder};
 ///
 /// Design-level rules are skipped (not failed) when the context has no
 /// [`DesignView`]; `report.rules_run` counts only the rules that
-/// executed. With a [`Recorder`], the run emits a `lint` span plus the
-/// `lint.rules_run` / `lint.violations` counters.
+/// executed. With a [`Recorder`], the run emits a `lint` span, one
+/// nested span per executed rule (with a
+/// `lint.rule.<ID>.violations` counter each), the `lint.rules_run` /
+/// `lint.violations` totals, and — when a deep rule ran the upset
+/// engine — the `lint.upset.lanes` / `lint.upset.cycles` /
+/// `lint.upset.pruned.<reason>` fault-space statistics.
 #[must_use]
 pub fn run(ctx: &LintContext<'_>, rules: &RuleSet, rec: Option<&Recorder>) -> LintReport {
     if let Some(rec) = rec {
@@ -76,11 +82,34 @@ pub fn run(ctx: &LintContext<'_>, rules: &RuleSet, rec: Option<&Recorder>) -> Li
             continue;
         }
         rules_run += 1;
-        diagnostics.extend(rule.check(ctx));
+        if let Some(rec) = rec {
+            rec.begin(Lane::Main, rule.id(), 0);
+        }
+        let found = rule.check(ctx);
+        if let Some(rec) = rec {
+            rec.counter(&format!("lint.rule.{}.violations", rule.id()))
+                .add(found.len() as u64);
+            rec.end(
+                Lane::Main,
+                rule.id(),
+                0,
+                vec![arg("violations", found.len() as u64)],
+            );
+        }
+        diagnostics.extend(found);
     }
     if let Some(rec) = rec {
         rec.counter("lint.rules_run").add(rules_run as u64);
         rec.counter("lint.violations").add(diagnostics.len() as u64);
+        if let Some(Ok(rep)) = ctx.upset_report_if_run() {
+            rec.counter("lint.upset.lanes")
+                .add((rep.singles_swept + rep.bursts_swept) as u64);
+            rec.counter("lint.upset.cycles").add(rep.cycles as u64);
+            for p in &rep.pruned {
+                rec.counter(&format!("lint.upset.pruned.{}", p.reason))
+                    .add(p.skipped as u64);
+            }
+        }
         rec.end(
             Lane::Main,
             "lint",

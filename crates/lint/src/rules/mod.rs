@@ -4,6 +4,7 @@ mod claims;
 mod power;
 mod scan;
 mod structural;
+mod upset;
 
 use crate::{Diagnostic, LintContext, Severity};
 use std::fmt;
@@ -23,6 +24,14 @@ pub trait Rule {
     fn severity(&self) -> Severity;
     /// `true` when the rule needs chain/monitor/domain metadata.
     fn needs_design(&self) -> bool {
+        false
+    }
+    /// `true` for *deep* rules — bounded sequential proofs (SG205/
+    /// SG206) that simulate the design instead of inspecting its
+    /// structure. Deep rules are excluded from [`RuleSet::all`] so
+    /// routine lint gates stay fast; reach them with
+    /// [`RuleSet::select`] or [`RuleSet::full`].
+    fn deep(&self) -> bool {
         false
     }
     /// Runs the check; an empty vector means the rule passed.
@@ -52,6 +61,8 @@ pub fn all_rules() -> Vec<Box<dyn Rule + Send + Sync>> {
         Box::new(power::MonitorInAlwaysOnDomain),
         Box::new(power::CorrectionFeedbackReachesChains),
         Box::new(power::StoreXPropagation),
+        Box::new(upset::UpsetSingleVerified),
+        Box::new(upset::UpsetBurstVerified),
         Box::new(claims::FunctionalCriticalPathUnchanged),
         Box::new(claims::MonitorOffFunctionalPaths),
     ]
@@ -99,9 +110,20 @@ impl fmt::Debug for RuleSet {
 }
 
 impl RuleSet {
-    /// Every shipped rule.
+    /// Every shipped rule *except* the deep sequential ones — the fast
+    /// set every routine gate (CLI lint default, explore pruning, the
+    /// synthesis gate) runs.
     #[must_use]
     pub fn all() -> Self {
+        RuleSet {
+            rules: all_rules().into_iter().filter(|r| !r.deep()).collect(),
+        }
+    }
+
+    /// Every shipped rule including the deep sequential proofs — what
+    /// `scanguard verify` runs when asked for everything.
+    #[must_use]
+    pub fn full() -> Self {
         RuleSet { rules: all_rules() }
     }
 
@@ -160,6 +182,16 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len(), "duplicate rule ID");
         assert!(ids.iter().all(|id| id.starts_with("SG")));
+    }
+
+    #[test]
+    fn deep_rules_are_selectable_but_excluded_from_all() {
+        let all = RuleSet::all();
+        assert!(all.rules().iter().all(|r| !r.deep()));
+        assert_eq!(RuleSet::full().len(), all.len() + 2);
+        let rs = RuleSet::select(&["SG205", "SG206"]).unwrap();
+        let picked: Vec<&str> = rs.rules().iter().map(|r| r.id()).collect();
+        assert_eq!(picked, vec!["SG205", "SG206"]);
     }
 
     #[test]

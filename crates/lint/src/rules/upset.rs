@@ -1,0 +1,247 @@
+//! Deep sequential rules: exhaustive upset verification (SG205/SG206).
+//!
+//! Both rules share one sweep of the symbolic engine, cached on the
+//! [`LintContext`]; they slice the same [`UpsetReport`] into the
+//! single-upset obligations (SG205: detect **and** correct, plus the
+//! golden-pass soundness obligations) and the in-group burst
+//! obligations (SG206: detect). They are `deep()` rules: excluded from
+//! [`RuleSet::all`](crate::RuleSet::all) so ordinary lint gates stay
+//! fast, and reached through `RuleSet::select`/`full` — which is what
+//! `scanguard verify` does.
+
+use crate::upset::{counterexample, FailKind, FaultFailure, UpsetReport};
+use crate::{Diagnostic, LintContext, Rule, Severity};
+use scanguard_dft::ErrorPattern;
+
+/// Diagnostics emitted per failure kind before collapsing into a count.
+const DIAG_CAP: usize = 5;
+
+/// SG205: every single retention-latch upset is detected — and, under a
+/// correcting code, corrected — by the monitor pass; the golden pass
+/// itself is lossless and X-free at every sample point.
+pub struct UpsetSingleVerified;
+
+/// SG206: every claimable in-group burst is detected by the monitor
+/// pass (spans outside the code's claim are pruned and counted, never
+/// silently dropped).
+pub struct UpsetBurstVerified;
+
+fn pattern_label(p: &ErrorPattern) -> String {
+    match *p {
+        ErrorPattern::Single { chain, depth } => {
+            format!("single upset chain {chain} depth {depth}")
+        }
+        ErrorPattern::Burst {
+            first_chain,
+            span,
+            depth,
+        } => format!(
+            "burst upset chains {first_chain}..{} depth {depth}",
+            first_chain + span - 1
+        ),
+    }
+}
+
+fn victim_cell_label(ctx: &LintContext<'_>, p: &ErrorPattern) -> Option<String> {
+    let view = ctx.design()?;
+    let (c, d) = *p.flip_positions().first()?;
+    Some(ctx.cell_label(view.chains.chains.get(c)?.cells.get(d).copied()?))
+}
+
+fn fail_message(f: &FaultFailure, rep: &UpsetReport) -> String {
+    let what = pattern_label(&f.pattern);
+    match f.kind {
+        FailKind::MissedDetect => {
+            format!("{what} never raised mon_err across the full {}-cycle pass", rep.cycles)
+        }
+        FailKind::MissedCorrect => match f.first_err_cycle {
+            Some(c) => format!(
+                "{what} was detected (mon_err at cycle {c}) but not restored by the correction feedback"
+            ),
+            None => format!("{what} was not restored by the correction feedback"),
+        },
+        FailKind::XAtSample => {
+            format!("{what} left mon_err/mon_done unknown (X) at a sample point — the verdict is unsound")
+        }
+    }
+}
+
+/// Shared diagnostic assembly over a slice of failures: at most
+/// [`DIAG_CAP`] per failure kind, the first of each kind carrying a
+/// replayed witness path.
+fn failure_diags<'f>(
+    ctx: &LintContext<'_>,
+    rule: &'static str,
+    rep: &UpsetReport,
+    failures: impl Iterator<Item = &'f FaultFailure>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut counts = [0usize; 3];
+    let mut totals = [0usize; 3];
+    let slot = |k: FailKind| match k {
+        FailKind::MissedDetect => 0,
+        FailKind::MissedCorrect => 1,
+        FailKind::XAtSample => 2,
+    };
+    let failures: Vec<&FaultFailure> = failures.collect();
+    for f in &failures {
+        totals[slot(f.kind)] += 1;
+    }
+    for f in &failures {
+        let s = slot(f.kind);
+        counts[s] += 1;
+        if counts[s] > DIAG_CAP {
+            continue;
+        }
+        let mut message = fail_message(f, rep);
+        if counts[s] == DIAG_CAP && totals[s] > DIAG_CAP {
+            message.push_str(&format!(" (+{} more like this)", totals[s] - DIAG_CAP));
+        }
+        let path = if counts[s] == 1 {
+            ctx.design()
+                .and_then(|view| counterexample(ctx, view, Some(&f.pattern)))
+                .map(|ce| ce.witness)
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        out.push(Diagnostic {
+            rule,
+            severity: Severity::Error,
+            message,
+            cell: victim_cell_label(ctx, &f.pattern),
+            net: None,
+            hint: "replay with `scanguard verify --trace-out ce.vcd` for the full waveform"
+                .to_owned(),
+            path,
+        });
+    }
+    out
+}
+
+fn engine_error_diag(rule: &'static str, err: &crate::upset::UpsetError) -> Diagnostic {
+    Diagnostic {
+        rule,
+        severity: Severity::Error,
+        message: format!("upset verification could not run: {err}"),
+        cell: None,
+        net: None,
+        hint: "fix the structural findings (SG002/SG004) or shrink the configuration".to_owned(),
+        path: Vec::new(),
+    }
+}
+
+impl Rule for UpsetSingleVerified {
+    fn id(&self) -> &'static str {
+        "SG205"
+    }
+
+    fn title(&self) -> &'static str {
+        "exhaustive single-upset detect/correct proof"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn needs_design(&self) -> bool {
+        true
+    }
+
+    fn deep(&self) -> bool {
+        true
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(result) = ctx.upset_report() else {
+            return Vec::new(); // no monitor metadata: nothing to verify
+        };
+        let rep = match result {
+            Err(e) => return vec![engine_error_diag(self.id(), e)],
+            Ok(rep) => rep,
+        };
+        let mut out: Vec<Diagnostic> = Vec::new();
+        for (i, msg) in rep.clean_failures.iter().enumerate() {
+            if i >= DIAG_CAP {
+                out.last_mut()
+                    .expect("pushed above")
+                    .message
+                    .push_str(&format!(
+                        " (+{} more golden-pass failures)",
+                        rep.clean_failures.len() - DIAG_CAP
+                    ));
+                break;
+            }
+            let path = if i == 0 {
+                ctx.design()
+                    .and_then(|view| counterexample(ctx, view, None))
+                    .map(|ce| ce.witness)
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Error,
+                message: format!("golden monitor pass failed: {msg}"),
+                cell: None,
+                net: None,
+                hint: "the pass must circulate losslessly and keep mon_err/mon_done known"
+                    .to_owned(),
+                path,
+            });
+        }
+        out.extend(failure_diags(ctx, self.id(), rep, rep.single_failures()));
+        out
+    }
+}
+
+impl Rule for UpsetBurstVerified {
+    fn id(&self) -> &'static str {
+        "SG206"
+    }
+
+    fn title(&self) -> &'static str {
+        "exhaustive in-group burst detection proof"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn needs_design(&self) -> bool {
+        true
+    }
+
+    fn deep(&self) -> bool {
+        true
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(result) = ctx.upset_report() else {
+            return Vec::new();
+        };
+        let rep = match result {
+            Err(e) => return vec![engine_error_diag(self.id(), e)],
+            Ok(rep) => rep,
+        };
+        let mut out = Vec::new();
+        if !rep.clean_failures.is_empty() {
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Error,
+                message: format!(
+                    "burst verification is unsound: the golden monitor pass failed {} obligation(s) (see SG205)",
+                    rep.clean_failures.len()
+                ),
+                cell: None,
+                net: None,
+                hint: "fix the golden-pass failures first; burst verdicts assume a sound pass"
+                    .to_owned(),
+                path: Vec::new(),
+            });
+        }
+        out.extend(failure_diags(ctx, self.id(), rep, rep.burst_failures()));
+        out
+    }
+}

@@ -10,17 +10,20 @@
 //! scanguard rush     --trials 2000
 //! scanguard verilog  --depth 8 --width 8 --chains 8 --code crc16 --out fifo.v
 //! scanguard lint     fifo32x32 --deny warn
+//! scanguard verify   fifo32x32 --code hamming:3 --trace-out ce.vcd
 //! scanguard serve    --store .scanguard-cache --tcp 127.0.0.1:7311
 //! scanguard client   --connect 127.0.0.1:7311 --request '{"id":1,"type":"status"}'
 //! ```
 
-use scanguard_core::{break_even, cost_header, measure_cost, CodeChoice, Synthesizer};
+use scanguard_core::{
+    apply_sabotage, break_even, cost_header, measure_cost, CodeChoice, Sabotage, Synthesizer,
+};
 use scanguard_designs::Fifo;
 use scanguard_explore::{cache_salt, report, DesignSpec, Objective, SpaceReport, SpaceSpec};
 use scanguard_harness::{
     ablation_rush, cost_sweep, fig10_family, print_table, validation_obs, Fig10Config,
 };
-use scanguard_lint::{lint_netlist, RuleSet, Severity};
+use scanguard_lint::{lint_netlist, LintContext, RuleSet, Severity};
 use scanguard_obs::{Level, Profile, Recorder, RecorderConfig};
 use scanguard_serve::{
     run_bench, serve_http, serve_stdio, serve_tcp, BenchConfig, Daemon, ServeConfig,
@@ -44,16 +47,27 @@ fn main() -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
-    // `lint` accepts its design as a positional: `scanguard lint fifo32x32`.
+    // `lint` and `verify` accept their design as a positional:
+    // `scanguard lint fifo32x32`, `scanguard verify fifo32x32`.
     let mut rest = rest.to_vec();
-    if cmd == "lint" && rest.first().is_some_and(|a| !a.starts_with("--")) {
+    if (cmd == "lint" || cmd == "verify") && rest.first().is_some_and(|a| !a.starts_with("--")) {
         let design = rest.remove(0);
         rest.splice(0..0, ["--design".to_owned(), design]);
     }
-    let parsed = parse_opts(cmd, &rest)
-        .and_then(|o| check_keys(cmd, &o).map(|()| o))
-        .and_then(|o| Obs::from_opts(&o).map(|obs| (o, obs)));
-    let (opts, obs) = match parsed {
+    let parsed = parse_opts(cmd, &rest).and_then(|mut o| {
+        check_keys(cmd, &o)?;
+        // For `verify`, --trace-out names the counterexample VCD, not
+        // the obs event trace — pull it out before the obs layer sees
+        // it (and would turn on event recording).
+        let vcd = if cmd == "verify" {
+            o.remove("trace-out")
+        } else {
+            None
+        };
+        let obs = Obs::from_opts(&o)?;
+        Ok((o, obs, vcd))
+    });
+    let (opts, obs, vcd_out) = match parsed {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -70,6 +84,7 @@ fn main() -> ExitCode {
         "rush" => cmd_rush(&opts),
         "coverage" => cmd_coverage(&opts, &obs),
         "lint" => cmd_lint(&opts, &obs),
+        "verify" => cmd_verify(&opts, &obs, vcd_out.as_deref()),
         "verilog" => cmd_verilog(&opts),
         "json" => cmd_json(&opts),
         "serve" => cmd_serve(&opts),
@@ -103,6 +118,10 @@ struct Obs {
     metrics_out: Option<String>,
     metrics: bool,
     deterministic: bool,
+    /// Set by a command that embedded the metrics snapshot into its own
+    /// `--json` artifact: [`Obs::finish`] must not also interleave the
+    /// snapshot into stdout.
+    embedded: std::cell::Cell<bool>,
 }
 
 impl Obs {
@@ -131,7 +150,14 @@ impl Obs {
             metrics_out,
             metrics,
             deterministic: get(opts, "deterministic", false)?,
+            embedded: std::cell::Cell::new(false),
         })
+    }
+
+    /// Marks the snapshot as already delivered inside a command's own
+    /// `--json` file; the finish hook then skips the stdout dump.
+    fn mark_embedded(&self) {
+        self.embedded.set(true);
     }
 
     /// The recorder, only while event or metric collection is on —
@@ -163,7 +189,7 @@ impl Obs {
                 .map_err(|e| format!("writing {path}: {e}"))?;
             println!("wrote {path} ({} spans folded)", profile.spans);
         }
-        if self.metrics {
+        if self.metrics && !self.embedded.get() {
             let snap = self.rec.metrics_snapshot();
             let doc = if self.deterministic {
                 snap.deterministic_json()?
@@ -219,6 +245,19 @@ COMMANDS:
               [DESIGN | --design fifo32x32|datapath8x16|...] [--chains N]
               [--code CODE] [--test-width N] [--rules SG001,SG102,...]
               [--deny error|warn|info] [--json FILE] [--in NETLIST.json]
+  verify    exhaustive symbolic upset verification (SG205/SG206): prove
+            every single retention-latch upset — and every burst the code
+            claims — is detected, and corrected where the code corrects,
+            during the monitor pass
+              [DESIGN | --design fifo32x32|datapath8x16|...] [--chains N]
+              [--code CODE] [--test-width N] [--rules SG205,SG206]
+              [--deny error|warn|info] [--json FILE]
+              [--seed-bad drop-correction|swap-groups|early-store]
+              [--trace-out FILE.vcd]
+            --seed-bad applies a known-bad surgery before verifying (the
+            CI expected-failure gate); for verify, --trace-out writes the
+            first counterexample as a golden-vs-faulty VCD instead of the
+            obs event trace
   verilog   export a protected FIFO as structural Verilog
               --depth N --width N --chains N --code CODE [--out FILE]
   json      export a protected FIFO netlist as JSON
@@ -317,6 +356,20 @@ const COMMAND_KEYS: &[(&str, &[&str])] = &[
             "deny",
             "json",
             "in",
+        ],
+    ),
+    (
+        "verify",
+        &[
+            "design",
+            "chains",
+            "code",
+            "test-width",
+            "rules",
+            "deny",
+            "json",
+            "seed-bad",
+            "trace-out",
         ],
     ),
     (
@@ -895,7 +948,25 @@ fn cmd_lint(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> {
     };
     println!("{report}");
     if let Some(path) = opts.get("json") {
-        std::fs::write(path, report.to_json()?).map_err(|e| format!("writing {path}: {e}"))?;
+        // With --metrics and no --metrics-out, the report and the
+        // snapshot ride in one object (matching `coverage --json
+        // --metrics`) instead of the snapshot interleaving with the
+        // diagnostics on stdout. --metrics-out FILE keeps them
+        // independently machine-parseable and is preferred.
+        let doc = if obs.metrics && obs.metrics_out.is_none() {
+            let combined = serde::Value::Object(vec![
+                ("lint".to_owned(), serde::Serialize::to_value(&report)),
+                (
+                    "metrics".to_owned(),
+                    serde::Serialize::to_value(&obs.rec.metrics_snapshot()),
+                ),
+            ]);
+            obs.mark_embedded();
+            serde_json::to_string_pretty(&combined).map_err(|e| e.to_string())?
+        } else {
+            report.to_json()?
+        };
+        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }
     if report.is_clean_at(deny) {
@@ -903,6 +974,129 @@ fn cmd_lint(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> {
     } else {
         Err(format!(
             "lint found findings at or above --deny {deny} (worst: {})",
+            report.worst().map_or_else(String::new, |s| s.to_string())
+        ))
+    }
+}
+
+fn cmd_verify(
+    opts: &HashMap<String, String>,
+    obs: &Obs,
+    vcd_out: Option<&str>,
+) -> Result<(), String> {
+    let spec = DesignSpec::parse(opts.get("design").map_or("fifo32x32", String::as_str))?;
+    let chains = get(opts, "chains", 8usize)?;
+    let code = parse_code(opts)?;
+    let tw = get(opts, "test-width", 4usize)?;
+    let mut design = Synthesizer::new(spec.netlist())
+        .chains(chains)
+        .code(code)
+        .test_width(tw)
+        .build()
+        .map_err(|e| e.to_string())?;
+    if let Some(name) = opts.get("seed-bad") {
+        let surgery: Sabotage = name.parse()?;
+        apply_sabotage(&mut design, surgery).map_err(|e| e.to_string())?;
+        println!("seeded known-bad surgery: {surgery}");
+    }
+    let rules = match opts.get("rules") {
+        Some(list) => {
+            let ids: Vec<&str> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            RuleSet::select(&ids).map_err(|e| e.to_string())?
+        }
+        None => RuleSet::select(&["SG205", "SG206"]).map_err(|e| e.to_string())?,
+    };
+    let deny: Severity = match opts.get("deny") {
+        Some(v) => v.parse()?,
+        None => Severity::Error,
+    };
+
+    let ctx = LintContext::with_design(&design.netlist, &design.library, design.lint_view());
+    let report = scanguard_lint::run(&ctx, &rules, obs.active());
+    println!("{report}");
+
+    let rep = match ctx.upset_report_if_run() {
+        Some(Ok(rep)) => rep,
+        Some(Err(e)) => return Err(format!("upset engine: {e}")),
+        None => {
+            return Err(
+                "the selected rules never invoked the upset engine (need SG205 or SG206)".into(),
+            )
+        }
+    };
+    println!(
+        "swept {} single upsets + {} in-group bursts over {} chains x {} cells \
+         ({} symbolic words, {} cycles unrolled)",
+        rep.singles_swept, rep.bursts_swept, rep.chains, rep.chain_len, rep.words, rep.cycles
+    );
+    if rep.pruned_total() > 0 {
+        let tally: Vec<String> = rep
+            .pruned
+            .iter()
+            .map(|p| format!("{}={}", p.reason, p.skipped))
+            .collect();
+        println!(
+            "pruned {} patterns outside the {} claim: {}",
+            rep.pruned_total(),
+            rep.code,
+            tally.join(" ")
+        );
+    }
+
+    if let Some(path) = vcd_out {
+        // Replay the first failure as a golden-vs-faulty waveform: the
+        // golden pass itself when the clean sweep broke, else the first
+        // failing upset pattern.
+        let pattern = rep
+            .clean_failures
+            .is_empty()
+            .then(|| rep.failures.first().map(|f| &f.pattern))
+            .flatten();
+        if pattern.is_none() && rep.is_clean() {
+            println!("verification clean: no counterexample to write to {path}");
+        } else {
+            let view = design.lint_view();
+            let ce = scanguard_lint::upset::counterexample(&ctx, &view, pattern)
+                .ok_or("counterexample replay failed (monitor view incomplete)")?;
+            std::fs::write(path, ce.to_vcd()).map_err(|e| format!("writing {path}: {e}"))?;
+            if let Some((cycle, phase)) = ce.first_divergence() {
+                println!("wrote {path} (first divergence at cycle {cycle}, {phase})");
+            } else {
+                println!("wrote {path}");
+            }
+        }
+    }
+
+    if let Some(path) = opts.get("json") {
+        // One combined document: the diagnostics and the sweep report;
+        // with --metrics (and no --metrics-out) the snapshot rides along
+        // instead of interleaving with stdout.
+        let mut fields = vec![
+            ("report".to_owned(), serde::Serialize::to_value(&report)),
+            ("verify".to_owned(), serde::Serialize::to_value(rep)),
+        ];
+        if obs.metrics && obs.metrics_out.is_none() {
+            fields.push((
+                "metrics".to_owned(),
+                serde::Serialize::to_value(&obs.rec.metrics_snapshot()),
+            ));
+            obs.mark_embedded();
+        }
+        let doc = serde_json::to_string_pretty(&serde::Value::Object(fields))
+            .map_err(|e| e.to_string())?;
+        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+
+    if report.is_clean_at(deny) {
+        Ok(())
+    } else {
+        Err(format!(
+            "verification failed at or above --deny {deny} (worst: {})",
             report.worst().map_or_else(String::new, |s| s.to_string())
         ))
     }

@@ -7,9 +7,9 @@
 //! from one [`PoolBudget`] — concurrent requests share the machine
 //! instead of oversubscribing it.
 //!
-//! Determinism contract: the `result` payload of `lint`, `coverage`,
-//! `explore` and `pareto` responses is byte-identical for the same
-//! request at any thread count and any cache temperature. Wall-clock
+//! Determinism contract: the `result` payload of `lint`, `verify`,
+//! `coverage`, `explore` and `pareto` responses is byte-identical for
+//! the same request at any thread count and any cache temperature. Wall-clock
 //! fields are zeroed (`coverage.wall_ms`) and scheduling-dependent
 //! observations only ever appear in `status`/`metrics` responses,
 //! which are explicitly outside the contract.
@@ -20,7 +20,7 @@ use scanguard_explore::{
     cache_salt, explore_env, front_of, knee_point, DesignSpec, DiskStore, ExploreEnv, ExploreError,
     Objective, SpaceReport, SpaceSpec, StoreLimits,
 };
-use scanguard_lint::{RuleSet, Severity};
+use scanguard_lint::{LintContext, RuleSet, Severity};
 use scanguard_obs::{
     arg, to_prometheus, Lane, Level, Recorder, RecorderConfig, SeriesRates, SeriesRing,
 };
@@ -91,7 +91,7 @@ pub struct Daemon {
 
 /// Request kinds that run real work (and therefore register for
 /// cancellation, deadlines and the drain barrier).
-const WORK_KINDS: &[&str] = &["lint", "coverage", "explore", "pareto"];
+const WORK_KINDS: &[&str] = &["lint", "verify", "coverage", "explore", "pareto"];
 /// Request kinds answered inline from daemon state.
 const CONTROL_KINDS: &[&str] = &["status", "metrics", "version", "cancel", "shutdown"];
 
@@ -334,6 +334,7 @@ impl Daemon {
         }
         let result = match req.kind.as_str() {
             "lint" => self.do_lint(req),
+            "verify" => self.do_verify(req),
             "coverage" => self.do_coverage(req),
             "explore" => self.do_explore(req, &token),
             "pareto" => self.do_pareto(req),
@@ -398,6 +399,88 @@ impl Daemon {
                     .map_or(Value::Null, |s| Value::Str(s.to_string())),
             ),
         ]))
+    }
+
+    /// The `verify` request: exhaustive symbolic upset verification
+    /// (SG205/SG206) of a synthesized design. Verdicts are cached in
+    /// the persistent store under the *netlist content hash* — two
+    /// request spellings that synthesize the same netlist share one
+    /// entry, and a stored verdict survives daemon restarts.
+    fn do_verify(&self, req: &Request) -> Result<Value, (ErrorCode, String)> {
+        let failed = |m: String| (ErrorCode::Failed, m);
+        let ids: Vec<&str> = req
+            .str_param("rules")
+            .unwrap_or("SG205,SG206")
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let rules = RuleSet::select(&ids).map_err(|e| failed(e.to_string()))?;
+        let deny: Severity = match req.str_param("deny") {
+            Some(v) => v.parse().map_err(failed)?,
+            None => Severity::Error,
+        };
+        let spec =
+            DesignSpec::parse(req.str_param("design").unwrap_or("fifo32x32")).map_err(failed)?;
+        let chains = usize_param(req, "chains", 8).map_err(failed)?;
+        let code = parse_code(req.str_param("code").unwrap_or("hamming:3")).map_err(failed)?;
+        let test_width = usize_param(req, "test_width", 4).map_err(failed)?;
+        let design = Synthesizer::new(spec.netlist())
+            .chains(chains)
+            .code(code)
+            .test_width(test_width)
+            .build()
+            .map_err(|e| failed(e.to_string()))?;
+        let store_key = {
+            let doc = design
+                .netlist
+                .to_json()
+                .map_err(|e| failed(format!("encoding netlist: {e}")))?;
+            format!(
+                "verify\n{:016x}\n{}\n{deny}",
+                fnv64(doc.as_bytes()),
+                ids.join(",")
+            )
+        };
+        if let Some(store) = &self.store {
+            if let Some(doc) = store.load(&store_key) {
+                if let Ok(value) = serde_json::from_str(&doc) {
+                    return Ok(value);
+                }
+            }
+        }
+        // The engine is single-threaded; it still takes one budget slot
+        // so concurrent verifies share the machine with everyone else.
+        let grant = self.budget.acquire(1);
+        let ctx = LintContext::with_design(&design.netlist, &design.library, design.lint_view());
+        let report = scanguard_lint::run(&ctx, &rules, Some(&self.rec));
+        let verify = match ctx.upset_report_if_run() {
+            Some(Ok(rep)) => Serialize::to_value(rep),
+            Some(Err(e)) => return Err(failed(format!("upset engine: {e}"))),
+            None => {
+                return Err(failed(
+                    "the selected rules never invoked the upset engine (need SG205 or SG206)"
+                        .into(),
+                ))
+            }
+        };
+        drop(grant);
+        let value = Value::Object(vec![
+            ("report".to_owned(), report.to_value()),
+            ("verify".to_owned(), verify),
+            ("clean".to_owned(), Value::Bool(report.is_clean_at(deny))),
+            (
+                "worst".to_owned(),
+                report
+                    .worst()
+                    .map_or(Value::Null, |s| Value::Str(s.to_string())),
+            ),
+        ]);
+        if let Some(store) = &self.store {
+            let doc = serde_json::to_string(&value).map_err(|e| failed(e.to_string()))?;
+            store.save(&store_key, &doc).map_err(failed)?;
+        }
+        Ok(value)
     }
 
     fn do_coverage(&self, req: &Request) -> Result<Value, (ErrorCode, String)> {
@@ -686,6 +769,17 @@ impl Daemon {
 /// A `usize` request parameter with a default.
 fn usize_param(req: &Request, key: &str, default: usize) -> Result<usize, String> {
     req.u64_param(key, default as u64).map(|v| v as usize)
+}
+
+/// FNV-1a over the netlist JSON: the content fingerprint `verify`
+/// verdicts are cached under.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Parses the wire code spelling (`crc16 | hamming:M | secded:M |

@@ -301,6 +301,115 @@ fn warm_store_skips_resynthesis_and_survives_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// ISSUE acceptance: the daemon `verify` request proves the exhaustive
+/// upset sweep over the wire, caches the verdict in the persistent
+/// store under the *netlist content hash* (so two request spellings of
+/// the same design share one entry), and survives a daemon restart.
+#[test]
+fn verify_round_trips_caches_by_netlist_and_survives_restart() {
+    let dir = scratch("verify");
+    let server = Server::start(Some(dir.clone()));
+    let req = r#"{"id":"v","type":"verify","design":"fifo8x8","chains":8,"code":"hamming:3","test_width":4}"#;
+
+    let first = server.raw(req);
+    let v: Value = serde_json::from_str(&first).expect("verify response is JSON");
+    assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{first}");
+    let result = v.get("result").expect("ok response has result").clone();
+    assert_eq!(result.get("clean"), Some(&Value::Bool(true)), "{first}");
+    let verify = result.get("verify").expect("verify section present");
+    assert!(
+        verify
+            .get("singles_swept")
+            .and_then(Value::as_u64)
+            .is_some_and(|n| n > 0),
+        "exhaustive single sweep reported: {verify:?}"
+    );
+    assert!(
+        verify
+            .get("failures")
+            .and_then(Value::as_array)
+            .is_some_and(Vec::is_empty),
+        "clean design has no failing patterns: {verify:?}"
+    );
+    let cold = store_stats(&server);
+    assert!(stat(&cold, "writes") > 0, "cold verify is stored: {cold:?}");
+
+    // Warm: byte-identical response, answered from the store.
+    let second = server.raw(req);
+    assert_eq!(first, second, "warm verify must be byte-identical");
+    let warm = store_stats(&server);
+    assert!(stat(&warm, "hits") > 0, "{warm:?}");
+    assert_eq!(stat(&warm, "writes"), stat(&cold, "writes"), "{warm:?}");
+
+    // A different request spelling of the same netlist (all defaults
+    // except the design) lands on the same content-hash entry: no new
+    // store write, identical result payload.
+    let spelled = server.ok(r#"{"id":"v2","type":"verify","design":"fifo8x8"}"#);
+    assert_eq!(spelled, result, "same netlist, same cached verdict");
+    let respelled = store_stats(&server);
+    assert_eq!(stat(&respelled, "writes"), stat(&cold, "writes"));
+    server.shutdown();
+
+    // Restart against the same on-disk store: still warm.
+    let server = Server::start(Some(dir.clone()));
+    let revived = server.raw(req);
+    assert_eq!(first, revived, "restart must not change verify payloads");
+    let restarted = store_stats(&server);
+    assert!(stat(&restarted, "hits") > 0, "{restarted:?}");
+    assert_eq!(stat(&restarted, "writes"), 0, "{restarted:?}");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// ISSUE acceptance at the binary level: `verify --json` writes
+/// byte-identical documents across runs (the engine is deterministic
+/// and records no wall-clock), and `--seed-bad` turns the exit code
+/// nonzero with the sweep report still written.
+#[test]
+fn verify_json_files_are_byte_identical_and_seed_bad_fails() {
+    let dir = scratch("verify-json");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let out = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let run = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_scanguard"))
+            .args(args)
+            .output()
+            .expect("verify binary runs")
+    };
+
+    let a = run(&["verify", "fifo8x8", "--json", &out("a.json")]);
+    assert!(a.status.success(), "clean verify exits 0: {a:?}");
+    let b = run(&["verify", "fifo8x8", "--json", &out("b.json")]);
+    assert!(b.status.success());
+    let doc_a = std::fs::read(dir.join("a.json")).expect("first document");
+    let doc_b = std::fs::read(dir.join("b.json")).expect("second document");
+    assert_eq!(doc_a, doc_b, "verify --json must be byte-stable");
+
+    let bad = run(&[
+        "verify",
+        "fifo8x8",
+        "--seed-bad",
+        "drop-correction",
+        "--json",
+        &out("bad.json"),
+    ]);
+    assert!(
+        !bad.status.success(),
+        "seeded-bad verify must exit nonzero: {bad:?}"
+    );
+    let doc: Value = serde_json::from_str(
+        &std::fs::read_to_string(dir.join("bad.json")).expect("failing verify still writes JSON"),
+    )
+    .expect("document parses");
+    let failures = doc
+        .get("verify")
+        .and_then(|v| v.get("failures"))
+        .and_then(Value::as_array)
+        .expect("failures recorded");
+    assert!(!failures.is_empty(), "seeded bug yields failing patterns");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cancel_aborts_an_inflight_explore() {
     let server = Server::start(None);

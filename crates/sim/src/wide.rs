@@ -19,7 +19,7 @@
 //! [`Simulator`]: crate::Simulator
 
 use crate::tables::SimTables;
-use scanguard_netlist::{CellLibrary, Logic, LogicWord, NetId, Netlist};
+use scanguard_netlist::{CellId, CellLibrary, Logic, LogicWord, NetId, Netlist};
 
 /// A 64-machine bit-parallel cycle simulator over a validated
 /// [`Netlist`].
@@ -209,6 +209,26 @@ impl<'a> WideSimulator<'a> {
             "net {net} is cell-driven; only primary inputs can be set"
         );
         self.write_net(net.index(), value);
+    }
+
+    /// Overwrites the state word of a sequential cell — the wide
+    /// equivalent of the scalar simulator's retention-flip hook. Used by
+    /// upset injection (flip selected lanes of a retention latch) and by
+    /// clock-domain emulation (restore a frozen domain's registers after
+    /// a [`step`](Self::step) that should not have clocked them). The
+    /// next [`settle`](Self::settle) propagates the forced word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not sequential.
+    pub fn force_ff_word(&mut self, cell: CellId, word: LogicWord) {
+        let c = self.netlist.cell(cell);
+        assert!(
+            c.kind().is_sequential(),
+            "force_ff_word targets flip-flops; {cell} is {:?}",
+            c.kind()
+        );
+        self.write_net(c.output().index(), word);
     }
 
     /// Current word of a net (meaningful after
@@ -500,6 +520,39 @@ mod tests {
         wide.clear_stuck();
         wide.step();
         assert_eq!(wide.value(q0).lane(5), Logic::One, "lane healed");
+    }
+
+    #[test]
+    fn force_ff_word_overrides_state_per_lane() {
+        let (nl, ffs) = mixed();
+        let l = lib();
+        let mut wide = WideSimulator::new(&nl, &l);
+        for name in ["d0", "d1", "si"] {
+            wide.set_net(nl.port(name).unwrap(), Logic::One);
+        }
+        wide.set_net(nl.port("se").unwrap(), Logic::Zero);
+        wide.step();
+        let q0 = nl.cell(ffs[0]).output();
+        assert_eq!(wide.value(q0).lane(7), Logic::One);
+        let mut w = wide.value(q0);
+        w.set_lane(7, Logic::Zero);
+        wide.force_ff_word(ffs[0], w);
+        wide.settle();
+        assert_eq!(wide.value(q0).lane(7), Logic::Zero, "forced lane");
+        assert_eq!(wide.value(q0).lane(0), Logic::One, "other lanes keep state");
+        // The forced word propagates through downstream logic.
+        let a = wide.value(nl.port("y").unwrap());
+        assert_eq!(a.ones & (1 << 7) != 0, {
+            let mut s = Simulator::new(&nl, &l);
+            for name in ["d0", "d1", "si"] {
+                s.set_net(nl.port(name).unwrap(), Logic::One);
+            }
+            s.set_net(nl.port("se").unwrap(), Logic::Zero);
+            s.step();
+            s.force_ff(ffs[0], Logic::Zero);
+            s.settle();
+            s.value(nl.port("y").unwrap()) == Logic::One
+        });
     }
 
     #[test]
