@@ -36,4 +36,4 @@ mod misc;
 
 pub use datapath::{Datapath, DatapathModel};
 pub use fifo::{Fifo, FifoModel};
-pub use misc::{counter_bank, lfsr_netlist, register_file, shift_register};
+pub use misc::{counter_bank, lfsr_netlist, mesh, register_file, shift_register};

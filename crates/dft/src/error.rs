@@ -36,6 +36,9 @@ pub enum DftError {
     /// An underlying netlist operation failed (e.g. a port-name clash
     /// with the original design).
     Netlist(scanguard_netlist::NetlistError),
+    /// Scan-chain recovery could not reconstruct a coherent chain
+    /// structure from the netlist's ports and scan flops.
+    Recover(String),
 }
 
 impl fmt::Display for DftError {
@@ -55,6 +58,7 @@ impl fmt::Display for DftError {
                 "stitching order is not a permutation of the design's {expected} flops (got {got} cells)"
             ),
             DftError::Netlist(e) => write!(f, "netlist error during scan insertion: {e}"),
+            DftError::Recover(msg) => write!(f, "scan-chain recovery failed: {msg}"),
         }
     }
 }

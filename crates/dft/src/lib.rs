@@ -50,6 +50,7 @@ mod faultsim;
 mod inject;
 mod lfsr;
 mod placement;
+mod recover;
 mod scan;
 mod testmode;
 mod upsetsim;
@@ -62,6 +63,7 @@ pub use faultsim::{
 pub use inject::{attach_injector, ErrorPattern, Injector};
 pub use lfsr::Lfsr;
 pub use placement::{insert_scan_placed, ChainOrder, Placement};
+pub use recover::{recover_scan_chains, recover_scan_chains_with, RecoverConfig};
 pub use scan::{insert_scan, insert_scan_ordered, FlopStyle, ScanChain, ScanChains, ScanConfig};
 pub use testmode::{configure_test_mode, TestModeConfig};
 pub use upsetsim::{

@@ -43,7 +43,7 @@ pub mod worker;
 pub use cache::{BuildKey, BuildPanic, CacheStats, SynthCache};
 pub use pareto::{front_of, knee_point, Objective, ALL_OBJECTIVES};
 pub use report::{PointResult, PrunedPoint, SpaceReport};
-pub use space::{DesignSpec, ExplorePoint, SpaceSpec, WakeSpec};
+pub use space::{register_import, DesignSpec, ExplorePoint, SpaceSpec, WakeSpec};
 pub use store::{cache_salt, DiskStore, StoreLimits, StoreStats};
 pub use worker::run_pool;
 

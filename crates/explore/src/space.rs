@@ -10,7 +10,7 @@
 //! divisible by 11 in range) silently contribute zero points.
 
 use scanguard_core::CodeChoice;
-use scanguard_designs::{register_file, Datapath, Fifo};
+use scanguard_designs::{mesh, register_file, Datapath, Fifo};
 use scanguard_netlist::Netlist;
 use scanguard_power::WakeStrategy;
 
@@ -38,6 +38,47 @@ pub enum DesignSpec {
         /// Word width (bits).
         width: usize,
     },
+    /// `rows x cols` toroidal XOR mesh — the scaling workhorse
+    /// (`mesh100x100` is 10^4 flops, `mesh320x320` ~10^5).
+    Mesh {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns (>= 2).
+        cols: usize,
+    },
+    /// A netlist imported from structural Verilog and registered in
+    /// this process under a content hash (see [`register_import`]).
+    ///
+    /// The variant stays `Copy` and serializable, so imported designs
+    /// flow through the explorer's point keys and caches like any
+    /// generator — but [`DesignSpec::netlist`] can only resolve it in
+    /// the process that called [`register_import`].
+    Import {
+        /// FNV-1a hash of the imported source text.
+        key: u64,
+    },
+}
+
+/// Process-global registry backing [`DesignSpec::Import`].
+fn import_registry() -> &'static std::sync::Mutex<std::collections::HashMap<u64, Netlist>> {
+    static REGISTRY: std::sync::OnceLock<
+        std::sync::Mutex<std::collections::HashMap<u64, Netlist>>,
+    > = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()))
+}
+
+/// Registers an imported netlist under `key` (the FNV-1a hash of its
+/// source text) and returns the [`DesignSpec::Import`] spec that
+/// resolves to it for the rest of the process lifetime.
+///
+/// Re-registering the same key replaces the stored netlist — callers
+/// hash the source, so identical keys mean identical designs.
+pub fn register_import(key: u64, netlist: Netlist) -> DesignSpec {
+    import_registry()
+        .lock()
+        .expect("import registry poisoned")
+        .insert(key, netlist);
+    DesignSpec::Import { key }
 }
 
 impl DesignSpec {
@@ -69,8 +110,10 @@ impl DesignSpec {
             "fifo" => Ok(DesignSpec::Fifo { depth: a, width: b }),
             "datapath" => Ok(DesignSpec::Datapath { regs: a, width: b }),
             "regfile" => Ok(DesignSpec::RegFile { words: a, width: b }),
+            "mesh" if b < 2 => Err(format!("mesh needs at least 2 columns, got {b}")),
+            "mesh" => Ok(DesignSpec::Mesh { rows: a, cols: b }),
             other => Err(format!(
-                "unknown design kind {other:?} (fifo | datapath | regfile)"
+                "unknown design kind {other:?} (fifo | datapath | regfile | mesh)"
             )),
         }
     }
@@ -82,17 +125,33 @@ impl DesignSpec {
             DesignSpec::Fifo { depth, width } => format!("fifo{depth}x{width}"),
             DesignSpec::Datapath { regs, width } => format!("datapath{regs}x{width}"),
             DesignSpec::RegFile { words, width } => format!("regfile{words}x{width}"),
+            DesignSpec::Mesh { rows, cols } => format!("mesh{rows}x{cols}"),
+            DesignSpec::Import { key } => format!("import{key:016x}"),
         }
     }
 
     /// Generates the design's netlist (fresh each call; generation is
     /// deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`DesignSpec::Import`] specs whose key was never
+    /// passed to [`register_import`] in this process.
     #[must_use]
     pub fn netlist(&self) -> Netlist {
         match *self {
             DesignSpec::Fifo { depth, width } => Fifo::generate(depth, width).netlist,
             DesignSpec::Datapath { regs, width } => Datapath::generate(regs, width).netlist,
             DesignSpec::RegFile { words, width } => register_file(words, width),
+            DesignSpec::Mesh { rows, cols } => mesh(rows, cols),
+            DesignSpec::Import { key } => import_registry()
+                .lock()
+                .expect("import registry poisoned")
+                .get(&key)
+                .cloned()
+                .unwrap_or_else(|| {
+                    panic!("imported design {key:016x} is not registered in this process")
+                }),
         }
     }
 
@@ -278,7 +337,7 @@ mod tests {
 
     #[test]
     fn parse_round_trips_labels() {
-        for name in ["fifo32x32", "datapath8x16", "regfile16x8"] {
+        for name in ["fifo32x32", "datapath8x16", "regfile16x8", "mesh20x50"] {
             let spec = DesignSpec::parse(name).unwrap();
             assert_eq!(spec.label(), name);
         }
@@ -289,6 +348,7 @@ mod tests {
         assert!(DesignSpec::parse("fifo").is_err());
         assert!(DesignSpec::parse("ring4x4").is_err());
         assert!(DesignSpec::parse("fifo32").is_err());
+        assert!(DesignSpec::parse("mesh4x1").is_err());
     }
 
     #[test]

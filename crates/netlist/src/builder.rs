@@ -422,6 +422,67 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "duplicate port")]
+    fn duplicate_output_port_panics() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        b.output("y", a);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate port")]
+    fn output_port_may_not_shadow_an_input_port() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("a", y);
+    }
+
+    #[test]
+    fn combinational_self_loop_is_rejected() {
+        // A net driven by a gate reading that same net: structurally
+        // well-formed (exactly one driver) but unorderable, so it must
+        // surface at `finish` as a loop, not validate or panic.
+        let mut b = NetlistBuilder::new("t");
+        let x = b.net("x");
+        let cell = b.drive(x, GateKind::Not, vec![x]);
+        b.output("y", x);
+        match b.finish() {
+            Err(NetlistError::CombinationalLoop { cell: c }) => assert_eq!(c, cell),
+            other => panic!("self-driving net accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequential_self_loop_is_legal() {
+        // The same shape through a flop is ordinary feedback (a toggle
+        // bit), and the flop breaks the combinational cycle.
+        let mut b = NetlistBuilder::new("t");
+        let q = b.net("q");
+        let nq = b.not(q);
+        b.drive(q, GateKind::Dff, vec![nq]);
+        b.output("q", q);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.ff_count(), 1);
+    }
+
+    #[test]
+    fn finish_names_the_undriven_net() {
+        let mut b = NetlistBuilder::new("t");
+        let dangling = b.net("dangling");
+        b.output("y", dangling);
+        match b.finish() {
+            Err(NetlistError::UndrivenNet { net, name }) => {
+                assert_eq!(net, dangling);
+                assert_eq!(name.as_deref(), Some("dangling"));
+            }
+            other => panic!("undriven net accepted: {other:?}"),
+        }
+    }
+
+    #[test]
     fn drive_closes_feedback() {
         let mut b = NetlistBuilder::new("t");
         let a = b.input("a");

@@ -70,5 +70,5 @@ pub use logic::{logic_vec, Logic, LogicSet};
 pub use netlist::Netlist;
 pub use report::AreaReport;
 pub use timing::{critical_path, TimingReport};
-pub use verilog::to_verilog;
+pub use verilog::{from_verilog, to_verilog, to_verilog_behavioral, ParseError};
 pub use word::LogicWord;

@@ -225,6 +225,36 @@ impl Netlist {
         Ok(net)
     }
 
+    /// Declares an *existing* net as a primary input port — the Verilog
+    /// importer's path, where nets are allocated in wire-declaration
+    /// order before port directions are applied. Restores the net's name
+    /// when it was allocated anonymously (port nets are always named).
+    pub(crate) fn add_input_port_net(
+        &mut self,
+        name: &str,
+        net: NetId,
+    ) -> Result<(), NetlistError> {
+        if self.port_index.contains_key(name) {
+            return Err(NetlistError::DuplicatePort { name: name.into() });
+        }
+        if let Some(cell) = self.nets[net.index()].driver {
+            return Err(NetlistError::MultipleDrivers {
+                net,
+                name: self.nets[net.index()].name.clone(),
+                cell,
+            });
+        }
+        self.topo = None;
+        let info = &mut self.nets[net.index()];
+        info.is_input = true;
+        if info.name.is_none() {
+            info.name = Some(name.to_owned());
+        }
+        self.inputs.push((name.to_owned(), net));
+        self.port_index.insert(name.to_owned(), net);
+        Ok(())
+    }
+
     /// Declares an existing net as a primary output port.
     ///
     /// # Errors

@@ -1,0 +1,224 @@
+//! Cell-master resolution: our own library names plus the foreign
+//! alias table.
+//!
+//! The alias table maps common foundry / IP cell names onto our
+//! [`GateKind`]s so that externally produced netlists (OpenROAD sky130
+//! `scan_architect` output, cv32e40p-style clock gating wrappers) can
+//! be imported directly:
+//!
+//! - `sky130_fd_sc_<lib>__<base>_<drive>` names are stripped to their
+//!   `<base>` before lookup (`sky130_fd_sc_hd__sdfsbp_1` → `sdfsbp`).
+//! - Scan flops (`sdfxtp`, `sdfsbp`) map onto [`GateKind::Sdff`] with
+//!   `SCD`→`SI`, `SCE`→`SE`; set/reset pins (`SET_B`) and clock pins
+//!   are treated as static-inactive / implicit — the abstraction under
+//!   which the whole retention methodology operates.
+//! - `cv32e40p_clock_gate` becomes an [`GateKind::Or2`] of `en_i` and
+//!   `scan_cg_en_i` driving `clk_o`: the gated clock is modelled as
+//!   "active when either the functional enable or the scan-test enable
+//!   is high", which is exactly the reachability question the lint and
+//!   X-propagation rules ask.
+//! - Physical-only cells (`diode`, `fill`, `tap`, `decap`) elaborate
+//!   to nothing.
+//! - Power pins (`VPWR`, `VGND`, `VPB`, `VNB`) are ignored on every
+//!   foreign cell.
+
+use crate::GateKind;
+
+/// Canonical pin names for one of our cells: inputs in
+/// [`crate::Cell::inputs`] order plus the output pin.
+pub(super) fn pins(kind: GateKind) -> (&'static [&'static str], &'static str) {
+    match kind {
+        GateKind::TieLo | GateKind::TieHi => (&[], "Y"),
+        GateKind::Buf | GateKind::Not => (&["A"], "Y"),
+        GateKind::And2
+        | GateKind::Nand2
+        | GateKind::Or2
+        | GateKind::Nor2
+        | GateKind::Xor2
+        | GateKind::Xnor2 => (&["A", "B"], "Y"),
+        GateKind::And3 | GateKind::Or3 | GateKind::Xor3 => (&["A", "B", "C"], "Y"),
+        GateKind::Mux2 => (&["S", "A", "B"], "Y"),
+        GateKind::Dff | GateKind::Rdff => (&["D"], "Q"),
+        GateKind::Sdff | GateKind::Rsdff => (&["D", "SI", "SE"], "Q"),
+    }
+}
+
+/// Looks up one of our own cell-library master names (`INV`, `SDFF`...).
+pub(super) fn our_cell(name: &str) -> Option<GateKind> {
+    Some(match name {
+        "TIE0" => GateKind::TieLo,
+        "TIE1" => GateKind::TieHi,
+        "BUF" => GateKind::Buf,
+        "INV" => GateKind::Not,
+        "AND2" => GateKind::And2,
+        "AND3" => GateKind::And3,
+        "ND2" => GateKind::Nand2,
+        "OR2" => GateKind::Or2,
+        "OR3" => GateKind::Or3,
+        "NR2" => GateKind::Nor2,
+        "XOR2" => GateKind::Xor2,
+        "XOR3" => GateKind::Xor3,
+        "XNOR2" => GateKind::Xnor2,
+        "MX2" => GateKind::Mux2,
+        "DFF" => GateKind::Dff,
+        "SDFF" => GateKind::Sdff,
+        "RDFF" => GateKind::Rdff,
+        "RSDFF" => GateKind::Rsdff,
+        _ => return None,
+    })
+}
+
+/// Power/bulk pins silently accepted (and dropped) on any foreign cell.
+pub(super) const GLOBAL_IGNORE: &[&str] = &["VPWR", "VGND", "VPB", "VNB"];
+
+/// A foreign cell mapped onto one of our gates.
+pub(super) struct AliasDef {
+    pub kind: GateKind,
+    /// Foreign pin names in our input order.
+    pub ins: &'static [&'static str],
+    /// Foreign output pin name.
+    pub out: &'static str,
+    /// Optional inverted output pin (`Q_N`); when connected, an extra
+    /// `INV` cell is synthesized off the main output.
+    pub out_n: Option<&'static str>,
+    /// Pins accepted and dropped (clocks, async set/reset).
+    pub ignore: &'static [&'static str],
+}
+
+/// Result of resolving a foreign master name.
+pub(super) enum Resolved {
+    Gate(&'static AliasDef),
+    /// `cv32e40p_clock_gate`: OR of `en_i` / `scan_cg_en_i` → `clk_o`.
+    ClockGate,
+    /// `conb`: constant generator with `HI` and `LO` outputs.
+    Conb,
+    /// Physical-only cell: elaborates to nothing.
+    Skip,
+}
+
+macro_rules! def {
+    ($kind:ident, [$($in:literal),*], $out:literal, $qn:expr, [$($ig:literal),*]) => {
+        // Rvalue static promotion: the literal struct is promoted to a
+        // `&'static AliasDef`.
+        Some(Resolved::Gate(&AliasDef {
+            kind: GateKind::$kind,
+            ins: &[$($in),*],
+            out: $out,
+            out_n: $qn,
+            ignore: &[$($ig),*],
+        }))
+    };
+}
+
+/// Resolves a foreign master name via the alias table.
+pub(super) fn resolve_alias(master: &str) -> Option<Resolved> {
+    if master == "cv32e40p_clock_gate" {
+        return Some(Resolved::ClockGate);
+    }
+    // Strip the sky130 library prefix (`sky130_fd_sc_hd__`), if any.
+    let base = master
+        .strip_prefix("sky130_fd_sc_")
+        .and_then(|rest| rest.split_once("__"))
+        .map_or(master, |(_, b)| b);
+    // Strip a trailing `_<digits>` drive-strength suffix.
+    let base = match base.rsplit_once('_') {
+        Some((stem, drive)) if !drive.is_empty() && drive.bytes().all(|b| b.is_ascii_digit()) => {
+            stem
+        }
+        _ => base,
+    };
+    if base.starts_with("fill") || base.starts_with("tap") || base.starts_with("decap") {
+        return Some(Resolved::Skip);
+    }
+    match base {
+        "diode" => Some(Resolved::Skip),
+        "conb" => Some(Resolved::Conb),
+        "buf" | "clkbuf" | "bufbuf" => def!(Buf, ["A"], "X", None, []),
+        b if b.starts_with("dlygate") || b.starts_with("dlymetal") => {
+            def!(Buf, ["A"], "X", None, [])
+        }
+        "inv" | "clkinv" => def!(Not, ["A"], "Y", None, []),
+        "and2" => def!(And2, ["A", "B"], "X", None, []),
+        "and3" => def!(And3, ["A", "B", "C"], "X", None, []),
+        "nand2" => def!(Nand2, ["A", "B"], "Y", None, []),
+        "or2" => def!(Or2, ["A", "B"], "X", None, []),
+        "or3" => def!(Or3, ["A", "B", "C"], "X", None, []),
+        "nor2" => def!(Nor2, ["A", "B"], "Y", None, []),
+        "xor2" => def!(Xor2, ["A", "B"], "X", None, []),
+        "xor3" => def!(Xor3, ["A", "B", "C"], "X", None, []),
+        "xnor2" => def!(Xnor2, ["A", "B"], "Y", None, []),
+        "mux2" => def!(Mux2, ["S", "A0", "A1"], "X", None, []),
+        "dfxtp" => def!(Dff, ["D"], "Q", None, ["CLK"]),
+        "sdfxtp" => def!(Sdff, ["D", "SCD", "SCE"], "Q", None, ["CLK"]),
+        "sdfbbp" | "sdfsbp" => def!(
+            Sdff,
+            ["D", "SCD", "SCE"],
+            "Q",
+            Some("Q_N"),
+            ["CLK", "SET_B", "RESET_B"]
+        ),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn our_cells_round_trip_cell_names() {
+        for kind in [
+            GateKind::TieLo,
+            GateKind::TieHi,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And2,
+            GateKind::And3,
+            GateKind::Nand2,
+            GateKind::Or2,
+            GateKind::Or3,
+            GateKind::Nor2,
+            GateKind::Xor2,
+            GateKind::Xor3,
+            GateKind::Xnor2,
+            GateKind::Mux2,
+            GateKind::Dff,
+            GateKind::Sdff,
+            GateKind::Rdff,
+            GateKind::Rsdff,
+        ] {
+            assert_eq!(our_cell(kind.cell_name()), Some(kind), "{kind:?}");
+            assert_eq!(pins(kind).0.len(), kind.input_count(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sky130_names_strip_library_and_drive() {
+        assert!(matches!(
+            resolve_alias("sky130_fd_sc_hd__sdfsbp_1"),
+            Some(Resolved::Gate(d)) if d.kind == GateKind::Sdff && d.out_n == Some("Q_N")
+        ));
+        assert!(matches!(
+            resolve_alias("sky130_fd_sc_hs__nand2_4"),
+            Some(Resolved::Gate(d)) if d.kind == GateKind::Nand2
+        ));
+        assert!(matches!(
+            resolve_alias("sky130_fd_sc_hd__mux2_2"),
+            Some(Resolved::Gate(d)) if d.kind == GateKind::Mux2 && d.ins == ["S", "A0", "A1"]
+        ));
+        assert!(matches!(
+            resolve_alias("sky130_fd_sc_hd__diode_2"),
+            Some(Resolved::Skip)
+        ));
+        assert!(matches!(
+            resolve_alias("sky130_fd_sc_hd__conb_1"),
+            Some(Resolved::Conb)
+        ));
+        assert!(matches!(
+            resolve_alias("cv32e40p_clock_gate"),
+            Some(Resolved::ClockGate)
+        ));
+        assert!(resolve_alias("sky130_fd_sc_hd__einvp_2").is_none());
+        assert!(resolve_alias("mystery_cell").is_none());
+    }
+}

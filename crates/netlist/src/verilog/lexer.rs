@@ -1,0 +1,279 @@
+//! Zero-copy tokenizer for structural Verilog.
+//!
+//! Produces identifier / number / symbol tokens carrying 1-based
+//! line/column positions. Comments (`//` and `/* */`) and compiler
+//! directives (`` ` `` to end of line) are skipped. Escaped
+//! identifiers (`\name `) keep an `escaped` flag — the importer uses
+//! it to distinguish a real name that *looks* like an anonymous-id
+//! pattern from the pattern itself.
+
+use super::error::ParseError;
+
+/// One token, borrowing from the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) struct Tok<'a> {
+    pub kind: TokKind<'a>,
+    pub line: usize,
+    pub col: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum TokKind<'a> {
+    /// A simple or escaped identifier (escaped form has the leading
+    /// backslash and trailing whitespace stripped).
+    Ident { text: &'a str, escaped: bool },
+    /// A literal number, kept raw (e.g. `1'b0`, `42`).
+    Number(&'a str),
+    /// A single punctuation character.
+    Sym(char),
+    /// End of input.
+    Eof,
+}
+
+impl<'a> TokKind<'a> {
+    /// A short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokKind::Ident { text, .. } => format!("`{text}`"),
+            TokKind::Number(n) => format!("`{n}`"),
+            TokKind::Sym(c) => format!("`{c}`"),
+            TokKind::Eof => "end of input".to_owned(),
+        }
+    }
+}
+
+const SYMBOLS: &[char] = &[
+    '(', ')', ';', ',', '.', '=', '~', '&', '|', '^', '?', ':', '[', ']', '#', '{', '}', '*', '/',
+    '@', '<', '>', '+', '-',
+];
+
+/// Tokenizes `src` in one pass.
+///
+/// # Errors
+///
+/// Returns a located [`ParseError`] for unterminated block comments,
+/// bare backslashes, and characters outside the structural subset.
+pub(super) fn tokenize(src: &str) -> Result<Vec<Tok<'_>>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let (sl, sc) = (line, col);
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(ParseError::at(
+                            src,
+                            sl,
+                            sc,
+                            "unterminated block comment".into(),
+                        ));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'`' => {
+                // Compiler directive (`timescale, `define...): skip the line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'\\' => {
+                // Escaped identifier: backslash to next whitespace.
+                let (sl, sc) = (line, col);
+                bump!();
+                let start = i;
+                while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+                    bump!();
+                }
+                if i == start {
+                    return Err(ParseError::at(
+                        src,
+                        sl,
+                        sc,
+                        "escaped identifier `\\` must be followed by a name".into(),
+                    ));
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident {
+                        text: &src[start..i],
+                        escaped: true,
+                    },
+                    line: sl,
+                    col: sc,
+                });
+            }
+            b'0'..=b'9' => {
+                let (sl, sc) = (line, col);
+                let start = i;
+                // Number with optional based literal: digits ['\'' base digits].
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                if i < bytes.len() && bytes[i] == b'\'' {
+                    bump!();
+                    if i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+                        bump!();
+                    }
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        bump!();
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Number(&src[start..i]),
+                    line: sl,
+                    col: sc,
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => {
+                let (sl, sc) = (line, col);
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    bump!();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident {
+                        text: &src[start..i],
+                        escaped: false,
+                    },
+                    line: sl,
+                    col: sc,
+                });
+            }
+            _ if SYMBOLS.contains(&(c as char)) => {
+                toks.push(Tok {
+                    kind: TokKind::Sym(c as char),
+                    line,
+                    col,
+                });
+                bump!();
+            }
+            _ => {
+                return Err(ParseError::at(
+                    src,
+                    line,
+                    col,
+                    format!("unexpected character `{}`", c as char),
+                ));
+            }
+        }
+    }
+    toks.push(Tok {
+        kind: TokKind::Eof,
+        line,
+        col,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind<'_>> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_idents_numbers_symbols() {
+        let k = kinds("module m (a); assign y = 1'b0; endmodule");
+        assert!(k.contains(&TokKind::Ident {
+            text: "module",
+            escaped: false
+        }));
+        assert!(k.contains(&TokKind::Number("1'b0")));
+        assert!(k.contains(&TokKind::Sym(';')));
+        assert_eq!(*k.last().unwrap(), TokKind::Eof);
+    }
+
+    #[test]
+    fn escaped_identifier_keeps_flag_and_strips_backslash() {
+        let k = kinds("wire \\d[0] ;");
+        assert!(k.contains(&TokKind::Ident {
+            text: "d[0]",
+            escaped: true
+        }));
+    }
+
+    #[test]
+    fn comments_and_directives_are_skipped() {
+        let k = kinds("// header\n`timescale 1ns/1ps\n/* block\ncomment */ wire a;");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Ident {
+                    text: "wire",
+                    escaped: false
+                },
+                TokKind::Ident {
+                    text: "a",
+                    escaped: false
+                },
+                TokKind::Sym(';'),
+                TokKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let toks = tokenize("wire a;\n  wire b;").unwrap();
+        let b = toks
+            .iter()
+            .find(|t| {
+                t.kind
+                    == TokKind::Ident {
+                        text: "b",
+                        escaped: false,
+                    }
+            })
+            .unwrap();
+        assert_eq!((b.line, b.col), (2, 8));
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_located() {
+        let e = tokenize("wire a;\n/* oops").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 1));
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn stray_character_is_located() {
+        let e = tokenize("wire a%;").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 7));
+    }
+}

@@ -49,10 +49,15 @@ fn main() -> ExitCode {
     }
     // `lint` and `verify` accept their design as a positional:
     // `scanguard lint fifo32x32`, `scanguard verify fifo32x32`.
+    // `import` takes its file the same way: `scanguard import design.v`.
     let mut rest = rest.to_vec();
     if (cmd == "lint" || cmd == "verify") && rest.first().is_some_and(|a| !a.starts_with("--")) {
         let design = rest.remove(0);
         rest.splice(0..0, ["--design".to_owned(), design]);
+    }
+    if cmd == "import" && rest.first().is_some_and(|a| !a.starts_with("--")) {
+        let file = rest.remove(0);
+        rest.splice(0..0, ["--in".to_owned(), file]);
     }
     let parsed = parse_opts(cmd, &rest).and_then(|mut o| {
         check_keys(cmd, &o)?;
@@ -86,6 +91,7 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(&opts, &obs),
         "verify" => cmd_verify(&opts, &obs, vcd_out.as_deref()),
         "verilog" => cmd_verilog(&opts),
+        "import" => cmd_import(&opts),
         "json" => cmd_json(&opts),
         "serve" => cmd_serve(&opts),
         "client" => cmd_client(&opts),
@@ -221,9 +227,12 @@ COMMANDS:
   explore   evaluate the (W, code, wake) design space in parallel;
             points the lint gate rejects land in the report's pruned
             section (see --no-prune)
-              --design fifo32x32|datapath8x16|regfile16x8|...
-              [--threads N] [--wmin N] [--wmax N] [--trials N]
-              [--test-width N] [--no-prune] [--out FILE] [--csv FILE]
+              --design fifo32x32|datapath8x16|regfile16x8|mesh100x100|...
+              [--in NETLIST.v|.json] [--threads N] [--wmin N] [--wmax N]
+              [--trials N] [--test-width N] [--no-prune] [--out FILE]
+              [--csv FILE]
+            --in explores an imported unprotected netlist instead of a
+            generated design (format sniffed by extension)
   pareto    Pareto front / knee-point over an explore result
               --in FILE [--objectives area,latency,...]
               [--recommend true] [--weights W,W,...]
@@ -237,14 +246,18 @@ COMMANDS:
               --depth N --width N --chains N --code CODE --test-width N
               [--patterns N] [--max-faults N] [--threads N] [--json FILE]
               [--engine scalar|wide] [--deterministic]
+              [--in NETLIST.v|.json] [--hold-low p1,p2,...]
             --engine wide (default) packs 63 faults per 64-lane simulator
             word; scalar runs one fault per machine. Reports are
             byte-identical. --deterministic zeroes the wall_ms field so
-            output files can be compared across runs.
+            output files can be compared across runs. --in simulates an
+            imported scan-stitched netlist through its recovered se/si/so
+            chains (direct access, scope all); --hold-low pins the named
+            input ports at 0 during the test.
   lint      static design-rule check of a synthesized protected design
               [DESIGN | --design fifo32x32|datapath8x16|...] [--chains N]
               [--code CODE] [--test-width N] [--rules SG001,SG102,...]
-              [--deny error|warn|info] [--json FILE] [--in NETLIST.json]
+              [--deny error|warn|info] [--json FILE] [--in NETLIST.v|.json]
   verify    exhaustive symbolic upset verification (SG205/SG206): prove
             every single retention-latch upset — and every burst the code
             claims — is detected, and corrected where the code corrects,
@@ -253,13 +266,26 @@ COMMANDS:
               [--code CODE] [--test-width N] [--rules SG205,SG206]
               [--deny error|warn|info] [--json FILE]
               [--seed-bad drop-correction|swap-groups|early-store]
-              [--trace-out FILE.vcd]
+              [--trace-out FILE.vcd] [--in NETLIST.v|.json]
             --seed-bad applies a known-bad surgery before verifying (the
             CI expected-failure gate); for verify, --trace-out writes the
             first counterexample as a golden-vs-faulty VCD instead of the
-            obs event trace
-  verilog   export a protected FIFO as structural Verilog
+            obs event trace; --in protects and verifies an imported
+            unprotected netlist instead of a generated design
+  verilog   export a protected design as structural Verilog
               --depth N --width N --chains N --code CODE [--out FILE]
+              [--design SPEC] [--style structural|behavioral]
+            --design picks any built-in generator (fifo32x32,
+            datapath4x8, regfile16x8, mesh320x320, ...) instead of the
+            fifo-only depth/width flags
+            structural (default) is the canonical instance form that
+            `scanguard import` reads back losslessly; behavioral is the
+            always-block form for external event-driven simulators
+  import    parse a structural-Verilog netlist and print its summary
+              FILE.v | --in FILE.v|.json [--json FILE] [--verilog FILE]
+            accepts our own cell library plus sky130-style scan cells
+            and cv32e40p-style clock gates; --json / --verilog re-export
+            the imported netlist
   json      export a protected FIFO netlist as JSON
               --depth N --width N --chains N --code CODE [--out FILE]
   serve     run the evaluation daemon (NDJSON requests; see PROTOCOL.md)
@@ -314,6 +340,7 @@ const COMMAND_KEYS: &[(&str, &[&str])] = &[
         "explore",
         &[
             "design",
+            "in",
             "threads",
             "wmin",
             "wmax",
@@ -343,6 +370,8 @@ const COMMAND_KEYS: &[(&str, &[&str])] = &[
             "engine",
             "deterministic",
             "json",
+            "in",
+            "hold-low",
         ],
     ),
     (
@@ -370,12 +399,23 @@ const COMMAND_KEYS: &[(&str, &[&str])] = &[
             "json",
             "seed-bad",
             "trace-out",
+            "in",
         ],
     ),
     (
         "verilog",
-        &["depth", "width", "chains", "code", "test-width", "out"],
+        &[
+            "design",
+            "depth",
+            "width",
+            "chains",
+            "code",
+            "test-width",
+            "out",
+            "style",
+        ],
     ),
+    ("import", &["in", "json", "verilog"]),
     (
         "json",
         &["depth", "width", "chains", "code", "test-width", "out"],
@@ -560,7 +600,14 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_explore(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> {
-    let design = DesignSpec::parse(opts.get("design").map_or("fifo32x32", String::as_str))?;
+    let design = match opts.get("in") {
+        Some(path) => {
+            let doc = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let nl = parse_netlist(path, &doc)?;
+            scanguard_explore::register_import(fnv64(doc.as_bytes()), nl)
+        }
+        None => DesignSpec::parse(opts.get("design").map_or("fifo32x32", String::as_str))?,
+    };
     let threads = get(opts, "threads", num_threads_default())?;
     let mut spec = SpaceSpec::paper(design);
     spec.w_min = get(opts, "wmin", spec.w_min)?;
@@ -788,11 +835,57 @@ fn cmd_coverage(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String>
     let mut opts = opts.clone();
     opts.entry("test-width".to_owned())
         .or_insert_with(|| "4".to_owned());
-    let design = build(&opts)?;
-    let tm = design
-        .test_mode
-        .as_ref()
-        .ok_or("coverage needs --test-width")?;
+    // --in: an imported scan-stitched netlist, simulated directly
+    // through its recovered se/si/so chains. Otherwise a generated
+    // protected design through its test-mode interface.
+    let imported = match opts.get("in") {
+        Some(path) => {
+            let nl = load_netlist(path)?;
+            let chains = scanguard_dft::recover_scan_chains(&nl).map_err(|e| e.to_string())?;
+            Some((nl, chains))
+        }
+        None => None,
+    };
+    let design;
+    let import_library;
+    let netlist: &scanguard_netlist::Netlist;
+    let library: &scanguard_netlist::CellLibrary;
+    let access: ScanAccess<'_>;
+    let gated_watermark: usize;
+    let hold_low: Vec<String>;
+    if let Some((nl, chains)) = &imported {
+        import_library = scanguard_netlist::CellLibrary::st120nm();
+        netlist = nl;
+        library = &import_library;
+        access = ScanAccess::Direct(chains);
+        // No synthesis metadata: every cell is in scope (--scope pgc
+        // and all coincide).
+        gated_watermark = nl.cell_count();
+        hold_low = opts
+            .get("hold-low")
+            .map(|s| {
+                s.split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_owned)
+                    .collect()
+            })
+            .unwrap_or_default();
+    } else {
+        if opts.contains_key("hold-low") {
+            return Err("--hold-low only applies with --in (generated designs pin their own monitor controls)".into());
+        }
+        design = build(&opts)?;
+        let tm = design
+            .test_mode
+            .as_ref()
+            .ok_or("coverage needs --test-width")?;
+        netlist = &design.netlist;
+        library = &design.library;
+        access = ScanAccess::TestMode(&design.chains, tm);
+        gated_watermark = design.gated_watermark;
+        hold_low = design.monitor.hold_low_ports();
+    }
     let patterns = get(&opts, "patterns", 16usize)?;
     let threads = get(&opts, "threads", num_threads_default())?;
     // The engines are byte-identical (differentially tested); wide is
@@ -811,9 +904,9 @@ fn cmd_coverage(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String>
     // logic sits idle during manufacturing test (controls held low) and
     // needs dedicated patterns — out of scope for the scan test.
     let scope = opts.get("scope").cloned().unwrap_or_else(|| "pgc".into());
-    let mut faults = enumerate_faults(&design.netlist);
+    let mut faults = enumerate_faults(netlist);
     if scope == "pgc" {
-        faults.retain(|f| f.cell.index() < design.gated_watermark);
+        faults.retain(|f| f.cell.index() < gated_watermark);
     } else if scope != "all" {
         return Err(format!("unknown --scope {scope:?} (pgc | all)"));
     }
@@ -826,15 +919,15 @@ fn cmd_coverage(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String>
         engine.name()
     ));
     let mut report = fault_coverage_obs(
-        &design.netlist,
-        ScanAccess::TestMode(&design.chains, tm),
-        &design.library,
+        netlist,
+        access,
+        library,
         &faults,
         &FaultSimConfig {
             patterns,
             seed: 0xC0 | 1,
             max_faults,
-            hold_low: design.monitor.hold_low_ports(),
+            hold_low,
             threads,
             engine,
         },
@@ -922,11 +1015,11 @@ fn cmd_lint(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> {
         None => Severity::Error,
     };
     let report = if let Some(path) = opts.get("in") {
-        // Raw decode, deliberately without revalidation: linting
-        // netlists the validator would reject is the point.
-        let doc = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let nl: scanguard_netlist::Netlist =
-            serde_json::from_str(&doc).map_err(|e| format!("parsing {path}: {e}"))?;
+        // JSON decodes raw, deliberately without revalidation: linting
+        // netlists the validator would reject is the point. Verilog
+        // arrives validated by construction (the importer runs
+        // revalidate and reports a located error instead).
+        let nl = load_netlist(path)?;
         lint_netlist(
             &nl,
             &scanguard_netlist::CellLibrary::st120nm(),
@@ -984,11 +1077,18 @@ fn cmd_verify(
     obs: &Obs,
     vcd_out: Option<&str>,
 ) -> Result<(), String> {
-    let spec = DesignSpec::parse(opts.get("design").map_or("fifo32x32", String::as_str))?;
+    // --in verifies an imported unprotected netlist; otherwise a
+    // generated design. Both run through the same synthesizer.
+    let base = match opts.get("in") {
+        Some(path) => load_netlist(path)?,
+        None => {
+            DesignSpec::parse(opts.get("design").map_or("fifo32x32", String::as_str))?.netlist()
+        }
+    };
     let chains = get(opts, "chains", 8usize)?;
     let code = parse_code(opts)?;
     let tw = get(opts, "test-width", 4usize)?;
-    let mut design = Synthesizer::new(spec.netlist())
+    let mut design = Synthesizer::new(base)
         .chains(chains)
         .code(code)
         .test_width(tw)
@@ -1299,8 +1399,32 @@ fn print_latency_summary(resp: &serde::Value) {
 }
 
 fn cmd_verilog(opts: &HashMap<String, String>) -> Result<(), String> {
-    let design = build(opts)?;
-    let v = scanguard_netlist::to_verilog(&design.netlist);
+    // --design picks any built-in generator (mesh320x320 reaches the
+    // 10^5-FF import-scaling regime); the bare depth/width flags keep
+    // the historical fifo-only spelling working.
+    let design = match opts.get("design") {
+        Some(spec) => {
+            let chains = get(opts, "chains", 8usize)?;
+            let code = parse_code(opts)?;
+            let tw = get(opts, "test-width", 4usize)?;
+            Synthesizer::new(DesignSpec::parse(spec)?.netlist())
+                .chains(chains)
+                .code(code)
+                .test_width(tw)
+                .build()
+                .map_err(|e| e.to_string())?
+        }
+        None => build(opts)?,
+    };
+    let v = match opts.get("style").map_or("structural", String::as_str) {
+        "structural" => scanguard_netlist::to_verilog(&design.netlist),
+        "behavioral" => scanguard_netlist::to_verilog_behavioral(&design.netlist),
+        other => {
+            return Err(format!(
+                "unknown --style {other:?} (structural | behavioral)"
+            ))
+        }
+    };
     match opts.get("out") {
         Some(path) => {
             std::fs::write(path, &v).map_err(|e| format!("writing {path}: {e}"))?;
@@ -1312,6 +1436,92 @@ fn cmd_verilog(opts: &HashMap<String, String>) -> Result<(), String> {
             );
         }
         None => print!("{v}"),
+    }
+    Ok(())
+}
+
+/// FNV-1a over the imported source text: the daemon's store key and the
+/// in-process import-registry key, kept bit-identical so CLI and daemon
+/// cache entries line up.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Decodes a netlist from `doc`, sniffing the format from `path`'s
+/// extension: `.v` / `.sv` parse as structural Verilog (validated by
+/// construction, parse errors carry line/column and a caret snippet);
+/// anything else decodes as the JSON netlist dump, deliberately without
+/// revalidation so `lint --in` can inspect netlists the validator would
+/// reject.
+fn parse_netlist(path: &str, doc: &str) -> Result<scanguard_netlist::Netlist, String> {
+    if std::path::Path::new(path)
+        .extension()
+        .is_some_and(|e| e == "v" || e == "sv")
+    {
+        scanguard_netlist::from_verilog(doc).map_err(|e| format!("{path}: {e}"))
+    } else {
+        serde_json::from_str(doc).map_err(|e| format!("parsing {path}: {e}"))
+    }
+}
+
+/// [`parse_netlist`] plus the file read.
+fn load_netlist(path: &str) -> Result<scanguard_netlist::Netlist, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_netlist(path, &doc)
+}
+
+fn cmd_import(opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = opts
+        .get("in")
+        .ok_or("import needs a file: scanguard import design.v")?;
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let t0 = std::time::Instant::now();
+    let nl = parse_netlist(path, &doc)?;
+    let wall = t0.elapsed();
+    println!(
+        "imported module `{}` from {path} in {:.1} ms",
+        nl.name(),
+        wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "  {} nets, {} cells ({} flip-flops), {} inputs, {} outputs",
+        nl.net_count(),
+        nl.cell_count(),
+        nl.ff_count(),
+        nl.input_ports().len(),
+        nl.output_ports().len()
+    );
+    let mut kinds: Vec<(scanguard_netlist::GateKind, usize)> =
+        nl.kind_histogram().into_iter().collect();
+    kinds.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cell_name().cmp(b.0.cell_name())));
+    let tally: Vec<String> = kinds
+        .iter()
+        .map(|(k, n)| format!("{}x{}", k.cell_name(), n))
+        .collect();
+    println!("  cells: {}", tally.join(" "));
+    match scanguard_dft::recover_scan_chains(&nl) {
+        Ok(chains) => println!(
+            "  scan: {} chains, longest {} (se port `{}`)",
+            chains.width(),
+            chains.max_len(),
+            chains.se_port
+        ),
+        Err(e) => println!("  scan: none recovered ({e})"),
+    }
+    if let Some(out) = opts.get("json") {
+        let doc = serde_json::to_string_pretty(&nl).map_err(|e| e.to_string())?;
+        std::fs::write(out, doc).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if let Some(out) = opts.get("verilog") {
+        let v = scanguard_netlist::to_verilog(&nl);
+        std::fs::write(out, &v).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out} (canonical form)");
     }
     Ok(())
 }

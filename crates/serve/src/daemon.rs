@@ -91,7 +91,7 @@ pub struct Daemon {
 
 /// Request kinds that run real work (and therefore register for
 /// cancellation, deadlines and the drain barrier).
-const WORK_KINDS: &[&str] = &["lint", "verify", "coverage", "explore", "pareto"];
+const WORK_KINDS: &[&str] = &["lint", "verify", "coverage", "explore", "pareto", "import"];
 /// Request kinds answered inline from daemon state.
 const CONTROL_KINDS: &[&str] = &["status", "metrics", "version", "cancel", "shutdown"];
 
@@ -338,6 +338,7 @@ impl Daemon {
             "coverage" => self.do_coverage(req),
             "explore" => self.do_explore(req, &token),
             "pareto" => self.do_pareto(req),
+            "import" => self.do_import(req),
             other => unreachable!("non-work kind {other} dispatched as work"),
         };
         done.store(true, Ordering::Release);
@@ -399,6 +400,79 @@ impl Daemon {
                     .map_or(Value::Null, |s| Value::Str(s.to_string())),
             ),
         ]))
+    }
+
+    /// The `import` request: parse structural Verilog supplied inline
+    /// in `source`, returning a summary object (and the netlist's JSON
+    /// encoding when `netlist` is `"true"`). Results are cached in the
+    /// persistent store under the *source content hash* — re-importing
+    /// an unchanged file is a store lookup, and the entry survives
+    /// daemon restarts.
+    fn do_import(&self, req: &Request) -> Result<Value, (ErrorCode, String)> {
+        let failed = |m: String| (ErrorCode::Failed, m);
+        let source = req.str_param("source").ok_or((
+            ErrorCode::BadRequest,
+            "import needs a `source` string (the Verilog text)".to_owned(),
+        ))?;
+        let want_netlist = req.str_param("netlist") == Some("true");
+        let hash = fnv64(source.as_bytes());
+        let store_key = format!("import\n{hash:016x}\n{want_netlist}");
+        if let Some(store) = &self.store {
+            if let Some(doc) = store.load(&store_key) {
+                if let Ok(value) = serde_json::from_str(&doc) {
+                    return Ok(value);
+                }
+            }
+        }
+        let nl = scanguard_netlist::from_verilog(source).map_err(|e| failed(e.to_string()))?;
+        let scan = match scanguard_dft::recover_scan_chains(&nl) {
+            Ok(chains) => Value::Object(vec![
+                (
+                    "chains".to_owned(),
+                    Value::Num(Number::U(chains.width() as u64)),
+                ),
+                (
+                    "max_len".to_owned(),
+                    Value::Num(Number::U(chains.max_len() as u64)),
+                ),
+                ("se_port".to_owned(), Value::Str(chains.se_port.clone())),
+            ]),
+            Err(_) => Value::Null,
+        };
+        let mut fields = vec![
+            ("module".to_owned(), Value::Str(nl.name().to_owned())),
+            ("source_hash".to_owned(), Value::Str(format!("{hash:016x}"))),
+            (
+                "nets".to_owned(),
+                Value::Num(Number::U(nl.net_count() as u64)),
+            ),
+            (
+                "cells".to_owned(),
+                Value::Num(Number::U(nl.cell_count() as u64)),
+            ),
+            (
+                "ffs".to_owned(),
+                Value::Num(Number::U(nl.ff_count() as u64)),
+            ),
+            (
+                "inputs".to_owned(),
+                Value::Num(Number::U(nl.input_ports().len() as u64)),
+            ),
+            (
+                "outputs".to_owned(),
+                Value::Num(Number::U(nl.output_ports().len() as u64)),
+            ),
+            ("scan".to_owned(), scan),
+        ];
+        if want_netlist {
+            fields.push(("netlist".to_owned(), Serialize::to_value(&nl)));
+        }
+        let value = Value::Object(fields);
+        if let Some(store) = &self.store {
+            let doc = serde_json::to_string(&value).map_err(|e| failed(e.to_string()))?;
+            store.save(&store_key, &doc).map_err(failed)?;
+        }
+        Ok(value)
     }
 
     /// The `verify` request: exhaustive symbolic upset verification

@@ -1,0 +1,199 @@
+//! CLI-level round-trip differential suite for the Verilog importer.
+//!
+//! The library layer proves `from_verilog(to_verilog(nl))` reconstructs
+//! the netlist id-for-id; these tests re-check the property end-to-end
+//! through the binary: the *same* netlist handed to the CLI as `.json`
+//! and as `.v` must produce byte-identical `lint --json` reports and
+//! byte-identical `coverage --json --deterministic` reports, under both
+//! fault-simulation engines and at any thread count. Any divergence
+//! means the importer changed something an analysis can observe.
+
+use scanguard_core::Synthesizer;
+use scanguard_dft::{insert_scan, ScanConfig};
+use scanguard_explore::DesignSpec;
+use scanguard_netlist::{from_verilog, to_verilog, Netlist};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Unique-per-process scratch file path.
+fn scratch(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("scanguard-imp-{}-{tag}.{ext}", std::process::id()))
+}
+
+/// Write the same netlist in both on-disk encodings the CLI accepts.
+fn write_both(nl: &Netlist, tag: &str) -> (PathBuf, PathBuf) {
+    let json = scratch(tag, "json");
+    let v = scratch(tag, "v");
+    std::fs::write(&json, serde_json::to_string_pretty(nl).expect("encode")).expect("write json");
+    std::fs::write(&v, to_verilog(nl)).expect("write verilog");
+    (json, v)
+}
+
+/// Run `scanguard lint --in <input> --json <out>` and return the report
+/// bytes. Lint's exit code reflects findings, not failures, so only the
+/// report file is asserted.
+fn lint_report(input: &PathBuf, tag: &str) -> Vec<u8> {
+    let out = scratch(&format!("{tag}-lint"), "json");
+    let output = Command::new(env!("CARGO_BIN_EXE_scanguard"))
+        .args(["lint", "--in"])
+        .arg(input)
+        .arg("--json")
+        .arg(&out)
+        .output()
+        .expect("lint run starts");
+    assert!(
+        out.exists(),
+        "lint --in {} wrote no report (stderr: {})",
+        input.display(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let doc = std::fs::read(&out).expect("lint report");
+    let _ = std::fs::remove_file(&out);
+    doc
+}
+
+/// Run `scanguard coverage --in <input> --deterministic` and return the
+/// JSON report bytes.
+fn coverage_report(input: &PathBuf, engine: &str, threads: usize, tag: &str) -> Vec<u8> {
+    let out = scratch(&format!("{tag}-cov-{engine}-{threads}"), "json");
+    let status = Command::new(env!("CARGO_BIN_EXE_scanguard"))
+        .args(["coverage", "--in"])
+        .arg(input)
+        .args([
+            "--patterns",
+            "4",
+            "--max-faults",
+            "48",
+            "--deterministic",
+            "--quiet",
+            "--engine",
+            engine,
+            "--threads",
+        ])
+        .arg(threads.to_string())
+        .arg("--json")
+        .arg(&out)
+        .status()
+        .expect("coverage run starts");
+    assert!(status.success(), "coverage --in {engine} x{threads} failed");
+    let doc = std::fs::read(&out).expect("coverage report");
+    let _ = std::fs::remove_file(&out);
+    doc
+}
+
+fn cleanup(paths: &[PathBuf]) {
+    for p in paths {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// Every built-in design, fully synthesized, lints byte-identically
+/// whether the CLI reads the netlist back from JSON or from Verilog.
+#[test]
+fn lint_reports_are_byte_identical_across_formats() {
+    for name in ["fifo8x8", "datapath4x8", "regfile4x4", "mesh4x8"] {
+        let spec = DesignSpec::parse(name).expect("builtin spec");
+        let design = Synthesizer::new(spec.netlist())
+            .chains(4)
+            .test_width(2)
+            .build()
+            .expect("synthesis");
+        let (json, v) = write_both(&design.netlist, name);
+        let from_json = lint_report(&json, &format!("{name}-j"));
+        let from_verilog_src = lint_report(&v, &format!("{name}-v"));
+        cleanup(&[json, v]);
+        assert!(!from_json.is_empty(), "{name}: empty lint report");
+        assert_eq!(
+            from_json, from_verilog_src,
+            "{name}: lint report differs between .json and .v inputs"
+        );
+    }
+}
+
+/// A scan-stitched design (the importer's recovery target) measures the
+/// same deterministic fault coverage from either encoding, under both
+/// engines and across thread counts.
+#[test]
+fn coverage_reports_are_byte_identical_across_formats_and_engines() {
+    let mut nl = DesignSpec::parse("fifo8x8").expect("spec").netlist();
+    insert_scan(&mut nl, &ScanConfig::with_chains(4)).expect("scan insertion");
+    let (json, v) = write_both(&nl, "cov");
+
+    let mut docs = Vec::new();
+    for (tag, input) in [("json", &json), ("verilog", &v)] {
+        for engine in ["scalar", "wide"] {
+            for threads in [1usize, 3] {
+                let doc = coverage_report(input, engine, threads, tag);
+                assert!(
+                    !doc.is_empty(),
+                    "empty report for {tag}/{engine} x{threads}"
+                );
+                docs.push((tag, engine, threads, doc));
+            }
+        }
+    }
+    cleanup(&[json, v]);
+
+    let (t0, e0, n0, reference) = &docs[0];
+    for (tag, engine, threads, doc) in &docs[1..] {
+        assert_eq!(
+            doc, reference,
+            "coverage report {tag}/{engine} x{threads} differs from {t0}/{e0} x{n0}"
+        );
+    }
+}
+
+/// Semantic round-trip at the API layer for every generator family the
+/// CLI exposes, including the fully protected synthesis output: export
+/// → import → re-export is a fixed point.
+#[test]
+fn every_builtin_design_round_trips_through_verilog() {
+    let mut netlists: Vec<(String, Netlist)> = Vec::new();
+    for name in ["fifo8x8", "datapath4x8", "regfile4x4", "mesh4x8"] {
+        let spec = DesignSpec::parse(name).expect("builtin spec");
+        netlists.push((name.to_owned(), spec.netlist()));
+        let design = Synthesizer::new(spec.netlist())
+            .chains(4)
+            .test_width(2)
+            .build()
+            .expect("synthesis");
+        netlists.push((format!("{name}+protect"), design.netlist));
+    }
+    let mut scanned = DesignSpec::parse("fifo8x8").expect("spec").netlist();
+    insert_scan(&mut scanned, &ScanConfig::with_chains(4)).expect("scan insertion");
+    netlists.push(("fifo8x8+scan".to_owned(), scanned));
+
+    for (name, nl) in netlists {
+        let src = to_verilog(&nl);
+        let back = from_verilog(&src).unwrap_or_else(|e| panic!("{name}: re-import failed:\n{e}"));
+        assert_eq!(
+            to_verilog(&back),
+            src,
+            "{name}: export → import → export is not a fixed point"
+        );
+        assert_eq!(back.cell_count(), nl.cell_count(), "{name}: cell count");
+        assert_eq!(back.net_count(), nl.net_count(), "{name}: net count");
+    }
+}
+
+/// Malformed Verilog exits nonzero with a located error, never a panic.
+#[test]
+fn malformed_verilog_fails_with_located_error() {
+    let nl = DesignSpec::parse("fifo8x8").expect("spec").netlist();
+    let src = to_verilog(&nl);
+    let truncated = &src[..src.len() / 2];
+    let path = scratch("broken", "v");
+    std::fs::write(&path, truncated).expect("write");
+    let output = Command::new(env!("CARGO_BIN_EXE_scanguard"))
+        .args(["lint", "--in"])
+        .arg(&path)
+        .output()
+        .expect("lint run starts");
+    let _ = std::fs::remove_file(&path);
+    assert!(!output.status.success(), "lint accepted truncated Verilog");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("line"),
+        "error is not located (stderr: {stderr})"
+    );
+}
